@@ -1,0 +1,121 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//
+//  A1 — LeveledChecker checkpoint stride: rollback replay cost vs checkpoint
+//       clone cost, under workloads with late middle-level records.
+//  A2 — incremental leveled checking vs naive from-scratch re-check per
+//       operation (the optimization the verifier's per-op cost rests on).
+//  A3 — linked-list set representation (Section 9.1) vs copying whole sets
+//       into the registers on every announcement (the unbounded-register
+//       strawman the paper starts from).
+#include <benchmark/benchmark.h>
+
+#include "selin/selin.hpp"
+
+namespace {
+
+using namespace selin;
+
+// Build a batch of records with occasional "late" records (small views
+// published after larger ones), mimicking slow verifier-side writes.
+struct RecordBatch {
+  std::vector<std::unique_ptr<SetNode>> nodes;
+  std::vector<LambdaRecord> records;
+  std::vector<size_t> publish_order;
+};
+
+RecordBatch make_batch(size_t ops, uint64_t seed, uint64_t late_every) {
+  RecordBatch b;
+  std::vector<const SetNode*> heads(2, nullptr);
+  Rng rng(seed);
+  auto spec = make_queue_spec();
+  auto state = spec->initial();
+  for (uint32_t i = 0; i < ops; ++i) {
+    ProcId p = i % 2;
+    auto [m, arg] = random_op(ObjectKind::kQueue, rng);
+    OpDesc op{OpId{p, i / 2}, m, arg};
+    b.nodes.push_back(std::make_unique<SetNode>(SetNode{
+        op, heads[p], heads[p] == nullptr ? 1u : heads[p]->len + 1}));
+    heads[p] = b.nodes.back().get();
+    Value y = state->step(m, arg);
+    b.records.push_back(LambdaRecord{op, y, View(heads)});
+  }
+  // Publish order: mostly in order, but every `late_every`-th record is
+  // delayed by a few positions.
+  for (size_t i = 0; i < ops; ++i) b.publish_order.push_back(i);
+  if (late_every > 0) {
+    for (size_t i = 0; i + 3 < ops; i += late_every) {
+      std::swap(b.publish_order[i], b.publish_order[i + 3]);
+    }
+  }
+  return b;
+}
+
+// A1: stride sweep.
+void BM_CheckpointStride(benchmark::State& state) {
+  size_t stride = static_cast<size_t>(state.range(0));
+  RecordBatch batch = make_batch(600, 5, /*late_every=*/7);
+  auto obj = make_linearizable_object(make_queue_spec());
+  for (auto _ : state) {
+    XBuilder builder;
+    LeveledChecker checker(*obj, stride);
+    for (size_t i : batch.publish_order) {
+      size_t lvl = builder.add(&batch.records[i]);
+      benchmark::DoNotOptimize(checker.resync(builder, lvl));
+    }
+  }
+  state.SetLabel("stride=" + std::to_string(stride));
+  state.SetItemsProcessed(state.iterations() * 600);
+}
+
+BENCHMARK(BM_CheckpointStride)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// A2: incremental vs from-scratch membership per operation.
+void BM_IncrementalVsScratch(benchmark::State& state) {
+  bool incremental = state.range(0) == 1;
+  RecordBatch batch = make_batch(300, 6, 0);
+  auto obj = make_linearizable_object(make_queue_spec());
+  for (auto _ : state) {
+    XBuilder builder;
+    LeveledChecker checker(*obj, 16);
+    for (size_t i : batch.publish_order) {
+      size_t lvl = builder.add(&batch.records[i]);
+      if (incremental) {
+        benchmark::DoNotOptimize(checker.resync(builder, lvl));
+      } else {
+        benchmark::DoNotOptimize(obj->contains(builder.flatten()));
+      }
+    }
+  }
+  state.SetLabel(incremental ? "incremental" : "from-scratch");
+  state.SetItemsProcessed(state.iterations() * 300);
+}
+
+BENCHMARK(BM_IncrementalVsScratch)->Arg(1)->Arg(0);
+
+// A3: pointer-chain announcements (Section 9.1) vs copying the whole set
+// value into the register per announcement.  We emulate the copying variant
+// by materializing the view into a sorted vector each operation — the cost
+// the linked-list representation avoids.
+void BM_AnnouncementRepresentation(benchmark::State& state) {
+  bool copying = state.range(0) == 1;
+  auto q = make_ms_queue();
+  AStar astar(2, *q);
+  Rng rng(7);
+  uint64_t processed = 0;
+  for (auto _ : state) {
+    auto [m, arg] = random_op(ObjectKind::kQueue, rng);
+    auto r = astar.apply(0, m, arg);
+    if (copying) {
+      benchmark::DoNotOptimize(r.view.materialize());  // O(history) copy
+    } else {
+      benchmark::DoNotOptimize(r.view.size());         // O(n) heads only
+    }
+    ++processed;
+  }
+  state.SetLabel(copying ? "copy-sets" : "pointer-chains");
+  state.SetItemsProcessed(static_cast<int64_t>(processed));
+}
+
+BENCHMARK(BM_AnnouncementRepresentation)->Arg(0)->Arg(1)->Iterations(20000);
+
+}  // namespace

@@ -1,0 +1,87 @@
+// B2 — Lemma 7.2: the A* wrapper preserves progress and adds step overhead
+// independent of history length (O(n) with a linear snapshot; O(n^2) with
+// the Afek snapshot used here as the wait-free reference).
+//
+// Two views of the claim:
+//  * throughput: raw A vs A* at increasing thread counts (the wrapper tax),
+//  * steps/op of the wrapper alone versus n (the analytic shape).
+#include <benchmark/benchmark.h>
+
+#include "selin/selin.hpp"
+
+namespace {
+
+using namespace selin;
+
+// Raw Michael–Scott queue throughput (the A side of the comparison).
+void BM_RawQueue(benchmark::State& state) {
+  static std::unique_ptr<IConcurrent> q;
+  if (state.thread_index() == 0) {
+    StepCounter::set_enabled(false);
+    q = make_ms_queue();
+  }
+  auto p = static_cast<ProcId>(state.thread_index());
+  Rng rng(p * 7 + 1);
+  uint32_t seq = 0;
+  for (auto _ : state) {
+    auto [m, arg] = random_op(ObjectKind::kQueue, rng);
+    benchmark::DoNotOptimize(q->apply(p, OpDesc{OpId{p, seq++}, m, arg}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_RawQueue)->ThreadRange(1, 8)->UseRealTime();
+
+// The same workload through A* (announce + A + snapshot + view).
+void BM_AStarQueue(benchmark::State& state) {
+  static std::unique_ptr<IConcurrent> q;
+  static std::unique_ptr<AStar> astar;
+  if (state.thread_index() == 0) {
+    StepCounter::set_enabled(false);
+    q = make_ms_queue();
+    astar = std::make_unique<AStar>(static_cast<size_t>(state.threads()), *q,
+                                    state.range(0) == 0
+                                        ? SnapshotKind::kDoubleCollect
+                                        : SnapshotKind::kAfek);
+  }
+  auto p = static_cast<ProcId>(state.thread_index());
+  Rng rng(p * 7 + 1);
+  for (auto _ : state) {
+    auto [m, arg] = random_op(ObjectKind::kQueue, rng);
+    benchmark::DoNotOptimize(astar->apply(p, m, arg));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    state.SetLabel(state.range(0) == 0 ? "double-collect" : "afek");
+  }
+}
+
+BENCHMARK(BM_AStarQueue)->Arg(0)->Arg(1)->ThreadRange(1, 8)->UseRealTime();
+
+// Wrapper steps per operation versus n (solo run; A contributes a constant).
+void BM_AStarStepsVsN(benchmark::State& state) {
+  StepCounter::set_enabled(true);
+  size_t n = static_cast<size_t>(state.range(1));
+  auto q = make_ms_queue();
+  AStar astar(n, *q,
+              state.range(0) == 0 ? SnapshotKind::kDoubleCollect
+                                  : SnapshotKind::kAfek);
+  Rng rng(3);
+  uint64_t total_steps = 0, ops = 0;
+  for (auto _ : state) {
+    auto [m, arg] = random_op(ObjectKind::kQueue, rng);
+    StepProbe probe;
+    benchmark::DoNotOptimize(astar.apply(0, m, arg));
+    total_steps += probe.steps();
+    ++ops;
+  }
+  state.counters["steps_per_op"] = benchmark::Counter(
+      static_cast<double>(total_steps) / static_cast<double>(ops));
+  state.SetLabel(std::string(state.range(0) == 0 ? "double-collect" : "afek") +
+                 "/n=" + std::to_string(n));
+  StepCounter::set_enabled(false);
+}
+
+BENCHMARK(BM_AStarStepsVsN)->ArgsProduct({{0, 1}, {2, 4, 8, 16, 32}});
+
+}  // namespace

@@ -1,0 +1,138 @@
+// B5 — completeness operationally (Theorem 8.1/8.2): detection latency.
+//
+// How many operations does the system execute before a silent fault is
+// reported?  Swept over fault type, fault rate and process count, for both
+// the coupled (Figure 11) and decoupled (Figure 12) deployments.  Expected
+// shape: latency falls as the fault rate rises; the decoupled verifier adds
+// a small lag but the same eventual detection.
+//
+// Reported via google-benchmark counters: ops_to_detect (mean over repeats).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "selin/selin.hpp"
+
+namespace {
+
+using namespace selin;
+
+std::unique_ptr<IConcurrent> make_faulty(int64_t which, uint64_t rate_den,
+                                         uint64_t seed) {
+  switch (which) {
+    case 0: return make_lossy_queue(1, rate_den, seed);
+    case 1: return make_dup_queue(1, rate_den, seed);
+    default: return make_stale_counter(1, rate_den, seed);
+  }
+}
+
+ObjectKind kind_for(int64_t which) {
+  return which == 2 ? ObjectKind::kCounter : ObjectKind::kQueue;
+}
+
+const char* fault_name(int64_t which) {
+  switch (which) {
+    case 0: return "lossy-queue";
+    case 1: return "dup-queue";
+    default: return "stale-counter";
+  }
+}
+
+// Coupled: each process checks after each op; count ops until first ERROR.
+void BM_DetectionLatencyCoupled(benchmark::State& state) {
+  StepCounter::set_enabled(false);
+  int64_t which = state.range(0);
+  uint64_t rate_den = static_cast<uint64_t>(state.range(1));
+  constexpr size_t kProcs = 3;
+  uint64_t total_ops = 0, runs = 0, detected_runs = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto impl = make_faulty(which, rate_den, seed++);
+    auto obj = make_linearizable_object(make_spec(kind_for(which)));
+    SelfEnforced se(kProcs, *impl, *obj);
+    std::atomic<uint64_t> ops{0};
+    SpinBarrier barrier(kProcs);
+    std::vector<std::thread> threads;
+    for (ProcId p = 0; p < kProcs; ++p) {
+      threads.emplace_back([&, p] {
+        Rng rng(seed * 131 + p);
+        barrier.arrive_and_wait();
+        for (int i = 0; i < 3000 && se.error_count() == 0; ++i) {
+          auto [m, arg] = random_op(kind_for(which), rng);
+          se.apply(p, m, arg);
+          ops.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    total_ops += ops.load();
+    ++runs;
+    if (se.error_count() > 0) ++detected_runs;
+  }
+  state.counters["ops_to_detect"] = benchmark::Counter(
+      static_cast<double>(total_ops) / static_cast<double>(runs));
+  state.counters["detect_rate"] = benchmark::Counter(
+      static_cast<double>(detected_runs) / static_cast<double>(runs));
+  state.SetLabel(std::string(fault_name(which)) + "/p=1_" +
+                 std::to_string(rate_den));
+}
+
+BENCHMARK(BM_DetectionLatencyCoupled)
+    ->ArgsProduct({{0, 1, 2}, {2, 8, 32}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+// Decoupled: producers never check; a single verifier thread polls.
+void BM_DetectionLatencyDecoupled(benchmark::State& state) {
+  StepCounter::set_enabled(false);
+  int64_t which = state.range(0);
+  uint64_t rate_den = static_cast<uint64_t>(state.range(1));
+  constexpr size_t kProducers = 3;
+  uint64_t total_ops = 0, runs = 0, detected_runs = 0;
+  uint64_t seed = 1000;
+  for (auto _ : state) {
+    auto impl = make_faulty(which, rate_den, seed++);
+    auto obj = make_linearizable_object(make_spec(kind_for(which)));
+    Decoupled d(kProducers, 1, *impl, *obj);
+    std::atomic<uint64_t> ops{0};
+    std::atomic<bool> stop{false};
+    std::thread verifier([&] {
+      while (!stop.load(std::memory_order_acquire) && d.error_count() == 0) {
+        d.verify_once(0);
+      }
+      d.verify_once(0);
+    });
+    SpinBarrier barrier(kProducers);
+    std::vector<std::thread> producers;
+    for (ProcId p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        Rng rng(seed * 997 + p);
+        barrier.arrive_and_wait();
+        for (int i = 0; i < 3000 && d.error_count() == 0; ++i) {
+          auto [m, arg] = random_op(kind_for(which), rng);
+          d.apply(p, m, arg);
+          ops.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    stop.store(true, std::memory_order_release);
+    verifier.join();
+    total_ops += ops.load();
+    ++runs;
+    if (d.error_count() > 0) ++detected_runs;
+  }
+  state.counters["ops_to_detect"] = benchmark::Counter(
+      static_cast<double>(total_ops) / static_cast<double>(runs));
+  state.counters["detect_rate"] = benchmark::Counter(
+      static_cast<double>(detected_runs) / static_cast<double>(runs));
+  state.SetLabel(std::string(fault_name(which)) + "/p=1_" +
+                 std::to_string(rate_den));
+}
+
+BENCHMARK(BM_DetectionLatencyDecoupled)
+    ->ArgsProduct({{0, 1, 2}, {2, 8, 32}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+}  // namespace

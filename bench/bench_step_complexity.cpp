@@ -1,0 +1,103 @@
+// B1 — Claim 8.1 / Lemma 7.2: shared-memory step complexity of the paper's
+// constructions versus the number of processes n, measured with the
+// base-object step counters.
+//
+// With the [63] snapshot the paper states O(n) per iteration; our wait-free
+// snapshot is Afek et al. at O(n^2), and the lock-free double-collect does
+// O(n) per attempt.  The bench prints steps/op for the full verifier loop
+// (A* announce+scan, publish, monitor scan) so the polynomial shape and the
+// history-length independence are both visible.
+#include <benchmark/benchmark.h>
+
+#include "selin/selin.hpp"
+
+namespace {
+
+using namespace selin;
+
+void BM_VerifierStepsVsN(benchmark::State& state) {
+  StepCounter::set_enabled(true);
+  size_t n = static_cast<size_t>(state.range(1));
+  SnapshotKind snap = state.range(0) == 0 ? SnapshotKind::kDoubleCollect
+                                          : SnapshotKind::kAfek;
+  auto impl = make_atomic_counter();
+  auto obj = make_linearizable_object(make_counter_spec());
+  AStar astar(n, *impl, snap);
+  Verifier v(astar, *obj, {}, snap);
+  uint64_t steps = 0, ops = 0;
+  for (auto _ : state) {
+    StepProbe probe;
+    v.step(0, Method::kInc);
+    steps += probe.steps();
+    ++ops;
+  }
+  state.counters["steps_per_op"] = benchmark::Counter(
+      static_cast<double>(steps) / static_cast<double>(ops));
+  state.SetLabel(std::string(snapshot_kind_name(snap)) + "/n=" +
+                 std::to_string(n));
+  StepCounter::set_enabled(false);
+}
+
+BENCHMARK(BM_VerifierStepsVsN)
+    ->ArgsProduct({{0, 1}, {2, 4, 8, 16, 32, 64}})
+    ->Iterations(2000);
+
+// History-length independence: steps/op sampled in windows along a long run
+// must stay flat (the Section 9.1 linked-list representation is what makes
+// this true — registers hold pointers, not whole sets).
+void BM_VerifierStepsVsHistoryLength(benchmark::State& state) {
+  StepCounter::set_enabled(true);
+  auto impl = make_atomic_counter();
+  auto obj = make_linearizable_object(make_counter_spec());
+  AStar astar(4, *impl, SnapshotKind::kAfek);
+  Verifier v(astar, *obj, {}, SnapshotKind::kAfek);
+  int64_t warmup = state.range(0);
+  for (int64_t i = 0; i < warmup; ++i) v.step(0, Method::kInc);
+  uint64_t steps = 0, ops = 0;
+  for (auto _ : state) {
+    StepProbe probe;
+    v.step(0, Method::kInc);
+    steps += probe.steps();
+    ++ops;
+  }
+  state.counters["steps_per_op"] = benchmark::Counter(
+      static_cast<double>(steps) / static_cast<double>(ops));
+  state.SetLabel("after=" + std::to_string(warmup) + "ops");
+  StepCounter::set_enabled(false);
+}
+
+BENCHMARK(BM_VerifierStepsVsHistoryLength)
+    ->Arg(0)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Iterations(500);
+
+// The producer side of D_{O,A} (Figure 12): the paper's follow-up [87]
+// targets "A plus only five additional steps"; our producer does A plus one
+// announce write, one snapshot scan and one publish write.
+void BM_DecoupledProducerSteps(benchmark::State& state) {
+  StepCounter::set_enabled(true);
+  size_t n = static_cast<size_t>(state.range(0));
+  auto impl = make_atomic_counter();
+  auto obj = make_linearizable_object(make_counter_spec());
+  Decoupled d(n, 1, *impl, *obj);
+  uint64_t steps = 0, ops = 0;
+  for (auto _ : state) {
+    StepProbe probe;
+    d.apply(0, Method::kInc);
+    steps += probe.steps();
+    ++ops;
+  }
+  state.counters["steps_per_op"] = benchmark::Counter(
+      static_cast<double>(steps) / static_cast<double>(ops));
+  state.SetLabel("n=" + std::to_string(n));
+  StepCounter::set_enabled(false);
+}
+
+BENCHMARK(BM_DecoupledProducerSteps)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Iterations(2000);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Distributed enforcement (Section 9.4): the complete selin stack running
+// over an asynchronous message-passing system with crash failures — the
+// shared-memory simulation of Attiya, Bar-Noy and Dolev [5] realized by ABD
+// replicated registers.
+//
+// Setup: 5 replica nodes hold every base object (the verified register
+// itself, the announcement object N, and the record object M).  3 client
+// processes run the self-enforced register.  Mid-run we crash 2 replicas —
+// a minority — and everything keeps going, runtime verified.
+//
+//   $ ./distributed_enforcement
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "selin/selin.hpp"
+
+int main() {
+  using namespace selin;
+  constexpr size_t kReplicas = 5;
+  constexpr size_t kProcs = 3;
+  constexpr int kOpsPerProc = 60;
+
+  auto service = std::make_shared<AbdService>(kReplicas, /*seed=*/2023,
+                                              /*max_delay_us=*/10);
+
+  // The implementation under inspection is itself distributed: an ABD
+  // register.  N and M ride the same replica group, on disjoint keys.
+  auto reg = make_abd_register(service, /*key=*/900'000);
+  auto object = make_linearizable_object(make_register_spec());
+  SelfEnforced verified(
+      kProcs, *reg, *object,
+      std::make_unique<AbdSnapshot<const SetNode*>>(service, kProcs, nullptr,
+                                                    /*key_base=*/100),
+      std::make_unique<AbdSnapshot<const RecNode*>>(service, kProcs, nullptr,
+                                                    /*key_base=*/200));
+
+  std::cout << "distributed enforcement — self-enforced register over "
+            << kReplicas << " ABD replicas, " << kProcs << " clients\n";
+
+  std::atomic<int> errors{0};
+  std::atomic<long> ops{0};
+  std::vector<std::thread> threads;
+  for (ProcId p = 0; p < kProcs; ++p) {
+    threads.emplace_back([&, p] {
+      Rng rng(p * 101 + 7);
+      for (int i = 0; i < kOpsPerProc; ++i) {
+        if (p == 0 && i == 15) {
+          service->crash(1);
+          std::cout << "  !! replica 1 crashed (" << service->alive()
+                    << "/5 alive)\n";
+        }
+        if (p == 1 && i == 30) {
+          service->crash(3);
+          std::cout << "  !! replica 3 crashed (" << service->alive()
+                    << "/5 alive)\n";
+        }
+        auto [m, arg] = random_op(ObjectKind::kRegister, rng);
+        auto out = verified.apply(p, m, arg);
+        if (out.error) errors.fetch_add(1);
+        ops.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  History cert = verified.certificate(0);
+  std::cout << "  client operations   : " << ops.load() << "\n"
+            << "  ERROR responses     : " << errors.load() << "\n"
+            << "  replicas alive      : " << service->alive() << "/5\n"
+            << "  messages processed  : " << service->messages_processed()
+            << "\n"
+            << "  certificate         : " << cert.size() << " events, "
+            << (object->contains(cert) ? "linearizable ✓" : "NOT linearizable")
+            << "\n\n"
+            << "Every response was produced and verified through majority\n"
+            << "quorums only — the minority of crashed replicas never\n"
+            << "blocked a client, exactly the fault-tolerance the paper\n"
+            << "inherits from the ABD simulation [5].\n";
+  return errors.load() == 0 ? 0 : 1;
+}

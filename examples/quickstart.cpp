@@ -1,0 +1,76 @@
+// Quickstart: wrap any concurrent object into its self-enforced version
+// (Figure 11) in three lines, run a multithreaded workload, and observe that
+// every response is runtime verified.
+//
+//   $ ./quickstart
+//
+// The pattern:
+//   1. pick/build an implementation A (here: a lock-free Michael–Scott queue),
+//   2. pick the abstract object O (here: histories linearizable w.r.t. the
+//      sequential queue),
+//   3. construct SelfEnforced(n, A, O) and call apply() instead of A.
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "selin/selin.hpp"
+
+int main() {
+  using namespace selin;
+  constexpr size_t kProcs = 4;
+  constexpr int kOpsPerProc = 2000;
+
+  // 1. The implementation under inspection (a black box from here on).
+  auto queue = make_ms_queue();
+
+  // 2. The correctness condition: linearizability w.r.t. the FIFO queue.
+  auto object = make_linearizable_object(make_queue_spec());
+
+  // 3. The self-enforced wrapper V_{O,A}.
+  SelfEnforced verified_queue(kProcs, *queue, *object);
+
+  std::atomic<long> enqueued{0}, dequeued{0}, empties{0}, errors{0};
+  std::vector<std::thread> threads;
+  for (ProcId p = 0; p < kProcs; ++p) {
+    threads.emplace_back([&, p] {
+      Rng rng(p * 71 + 9);
+      for (int i = 0; i < kOpsPerProc; ++i) {
+        if (rng.chance(1, 2)) {
+          auto out = verified_queue.apply(p, Method::kEnqueue,
+                                          static_cast<Value>(p * 10000 + i));
+          if (out.error) ++errors;
+          else ++enqueued;
+        } else {
+          auto out = verified_queue.apply(p, Method::kDequeue);
+          if (out.error) ++errors;
+          else if (out.value == kEmpty) ++empties;
+          else ++dequeued;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::cout << "selin quickstart — self-enforced Michael–Scott queue\n"
+            << "  processes        : " << kProcs << "\n"
+            << "  operations       : " << kProcs * kOpsPerProc << "\n"
+            << "  enqueued         : " << enqueued.load() << "\n"
+            << "  dequeued (value) : " << dequeued.load() << "\n"
+            << "  dequeued (empty) : " << empties.load() << "\n"
+            << "  ERROR responses  : " << errors.load() << "\n";
+
+  // Theorem 8.2(3): a certificate — a history similar to the current one —
+  // is available on demand and can be audited offline by anyone.
+  History cert = verified_queue.certificate(0);
+  std::cout << "  certificate size : " << cert.size() << " events, "
+            << (object->contains(cert) ? "linearizable ✓" : "NOT linearizable")
+            << "\n";
+
+  if (errors.load() != 0) {
+    std::cerr << "unexpected: a correct queue was flagged\n";
+    return 1;
+  }
+  std::cout << "every response was runtime verified — no ERRORs, as Theorem "
+               "8.2 promises for a correct A.\n";
+  return 0;
+}

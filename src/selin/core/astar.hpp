@@ -1,0 +1,119 @@
+// The A* construction (Figure 7) — from any implementation A to its
+// Distributed Runtime Verifiable counterpart A* ∈ DRV (Definition 7.4).
+//
+//   Apply(op_i):
+//     01  set_i ← set_i ∪ {(p_i, op_i)}          (prepend a SetNode)
+//     02  N.Write(set_i)                          (publish the chain head)
+//     03  invoke Apply(op_i) of A
+//     04  y_i ← response from A
+//     05  s_i ← N.Snapshot()
+//     06  λ_i ← union of s_i entries              (the View of the op)
+//     07  return (y_i, λ_i)
+//
+// A is used strictly as a black box (Line 03), so AStar works for any
+// IConcurrent regardless of the object it implements — this genericity is
+// what Definition 7.4 requires.  By Lemma 7.2, A* preserves A's correctness
+// and progress and adds O(n) steps per operation (with the snapshot of [63];
+// our Afek snapshot adds O(n^2), see DESIGN.md substitutions).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "selin/impls/concurrent.hpp"
+#include "selin/snapshot/snapshot.hpp"
+#include "selin/util/arena.hpp"
+#include "selin/views/lambda.hpp"
+
+namespace selin {
+
+/// Test instrumentation: observes the Write (Line 02) and Snapshot (Line 05)
+/// steps, which delimit operations in tight executions (Definition 7.5).
+/// Callbacks run on the calling process's thread immediately after the
+/// corresponding base-object step.
+class AStarTraceSink {
+ public:
+  virtual ~AStarTraceSink() = default;
+  virtual void on_write(const OpDesc& op) = 0;
+  virtual void on_snap(const OpDesc& op, Value y) = 0;
+};
+
+class AStar {
+ public:
+  struct Result {
+    Value y;    ///< response obtained from A
+    View view;  ///< λ_i — the sketch fragment this operation contributes
+    OpDesc op;  ///< the operation descriptor (with its generated OpId)
+  };
+
+  /// n = number of process slots; `a` must outlive the AStar.
+  AStar(size_t n, IConcurrent& a,
+        SnapshotKind kind = SnapshotKind::kDoubleCollect,
+        AStarTraceSink* sink = nullptr);
+
+  /// Same, with a caller-provided announcement object N — e.g. an ABD
+  /// snapshot to run A* over message passing (Section 9.4).
+  AStar(size_t n, IConcurrent& a,
+        std::unique_ptr<Snapshot<const SetNode*>> announce,
+        AStarTraceSink* sink = nullptr);
+
+  /// Apply with an auto-generated unique OpId for process i.
+  Result apply(ProcId i, Method m, Value arg = kNoArg);
+
+  /// Apply a fully specified operation (op.id.pid must equal i and ids must
+  /// be unique per Section 2).
+  Result apply_op(ProcId i, const OpDesc& op);
+
+  size_t procs() const { return per_proc_.size(); }
+  IConcurrent& underlying() { return *a_; }
+
+ private:
+  friend class SteppedAStar;
+
+  struct alignas(64) PerProc {
+    const SetNode* head = nullptr;  // my announcement chain (Line 01 state)
+    uint32_t next_seq = 0;
+  };
+
+  IConcurrent* a_;
+  AStarTraceSink* sink_;
+  Arena arena_;
+  std::unique_ptr<Snapshot<const SetNode*>> announce_;  // the object N
+  std::vector<PerProc> per_proc_;
+};
+
+/// Deterministic-schedule driver over an AStar: splits Apply into its three
+/// phases so tests can interleave processes at sub-operation granularity and
+/// reproduce the paper's hand-drawn executions (Figures 5, 6, 8; the
+/// "stretch"/"shrink"/"fix" semantics and the tight-execution lemmas).
+/// Single-threaded by design: the caller is the scheduler.
+class SteppedAStar {
+ public:
+  explicit SteppedAStar(AStar& astar) : astar_(&astar) {}
+
+  /// Lines 01-02 of Figure 7: announce the operation and publish the set.
+  OpDesc announce(ProcId i, Method m, Value arg = kNoArg);
+
+  /// Lines 03-04: the black-box call into A.  Must follow announce(i).
+  Value invoke(ProcId i);
+
+  /// Lines 05-07: snapshot, build the view, return (y_i, λ_i).
+  AStar::Result complete(ProcId i);
+
+  /// Convenience: announce+invoke+complete back to back (a "short delay"
+  /// operation in the Figure 5/6 sense).
+  AStar::Result run_all(ProcId i, Method m, Value arg = kNoArg);
+
+ private:
+  struct Open {
+    OpDesc op;
+    Value y = kNoArg;
+    bool invoked = false;
+    bool active = false;
+  };
+
+  AStar* astar_;
+  std::vector<Open> open_ = std::vector<Open>(64);
+};
+
+}  // namespace selin

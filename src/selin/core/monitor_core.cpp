@@ -1,0 +1,85 @@
+#include "selin/core/monitor_core.hpp"
+
+#include <algorithm>
+
+namespace selin {
+
+MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
+                         const GenLinObject& obj, SnapshotKind kind)
+    : obj_(&obj),
+      m_(make_snapshot<const RecNode*>(kind, n_producers, nullptr)),
+      producers_(n_producers),
+      checkers_(n_checkers) {
+  for (CheckerSlot& c : checkers_) {
+    c.seen.assign(n_producers, nullptr);
+    c.checker = std::make_unique<LeveledChecker>(obj);
+  }
+}
+
+MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
+                         const GenLinObject& obj,
+                         std::unique_ptr<Snapshot<const RecNode*>> m)
+    : obj_(&obj),
+      m_(std::move(m)),
+      producers_(n_producers),
+      checkers_(n_checkers) {
+  for (CheckerSlot& c : checkers_) {
+    c.seen.assign(n_producers, nullptr);
+    c.checker = std::make_unique<LeveledChecker>(obj);
+  }
+}
+
+MonitorCore::~MonitorCore() = default;
+
+void MonitorCore::publish(ProcId producer, const OpDesc& op, Value y,
+                          View view) {
+  ProducerSlot& slot = producers_[producer];
+  auto node = std::make_unique<RecNode>(
+      RecNode{LambdaRecord{op, y, std::move(view)}, slot.head,
+              slot.head == nullptr ? 1u : slot.head->len + 1});
+  slot.head = node.get();
+  slot.owned.push_back(std::move(node));
+  // M.Write: publishes the chain head; the release store in the snapshot
+  // implementation makes the record contents visible to scanning checkers.
+  m_->write(producer, slot.head);
+}
+
+bool MonitorCore::check(size_t checker) {
+  CheckerSlot& cs = checkers_[checker];
+  // Line 08: s ← M.Snapshot(); Line 09: τ ← union of entries.  The union is
+  // merged incrementally: only chain segments beyond the previously seen
+  // heads are new.
+  std::vector<const RecNode*> heads = m_->scan(0);
+  size_t lowest = static_cast<size_t>(-1);
+  for (size_t j = 0; j < heads.size(); ++j) {
+    const RecNode* h = heads[j];
+    const RecNode* old = cs.seen[j];
+    uint32_t old_len = old == nullptr ? 0 : old->len;
+    // Collect the new records oldest-first (chains link newest→oldest).
+    std::vector<const RecNode*> fresh;
+    for (const RecNode* n = h; n != nullptr && n->len > old_len; n = n->next) {
+      fresh.push_back(n);
+    }
+    for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
+      size_t lvl = cs.builder.add(&(*it)->rec);
+      lowest = std::min(lowest, lvl);
+    }
+    cs.seen[j] = h;
+  }
+  if (lowest != static_cast<size_t>(-1)) {
+    // Line 10: the membership test X(τ) ∈ O, resumed from the lowest level
+    // the merge touched.
+    return cs.checker->resync(cs.builder, lowest);
+  }
+  return cs.checker->ok();
+}
+
+History MonitorCore::sketch(size_t checker) const {
+  return checkers_[checker].builder.flatten();
+}
+
+size_t MonitorCore::record_count(size_t checker) const {
+  return checkers_[checker].builder.record_count();
+}
+
+}  // namespace selin

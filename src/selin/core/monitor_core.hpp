@@ -1,0 +1,76 @@
+// Shared machinery of the verifier algorithms (Figures 10, 11, 12): the
+// snapshot object M holding per-producer grow-only sets of λ-records, plus
+// per-checker incremental X(τ) construction and membership evaluation.
+//
+// Producers publish 4-tuples (Lines 06-07 of Figure 10 / 03-04 of Figure 11
+// / 03-04 of Figure 12); checkers snapshot M, merge the newly visible
+// records into their private XBuilder, and re-evaluate membership through
+// their private LeveledChecker (Lines 08-10).  All cross-thread
+// communication goes through the snapshot object — read/write base objects
+// only, per Theorem 8.1(1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "selin/snapshot/snapshot.hpp"
+#include "selin/spec/spec.hpp"
+#include "selin/views/leveled_history.hpp"
+
+namespace selin {
+
+/// One published λ-record in a producer's grow-only chain.
+struct RecNode {
+  LambdaRecord rec;
+  const RecNode* next;
+  uint32_t len;
+};
+
+class MonitorCore {
+ public:
+  /// n_producers writable entries in M; n_checkers independent checking
+  /// contexts (per-process in Figures 10/11; per-verifier in Figure 12).
+  MonitorCore(size_t n_producers, size_t n_checkers, const GenLinObject& obj,
+              SnapshotKind kind = SnapshotKind::kDoubleCollect);
+
+  /// Same, with a caller-provided record object M (e.g. ABD, Section 9.4).
+  MonitorCore(size_t n_producers, size_t n_checkers, const GenLinObject& obj,
+              std::unique_ptr<Snapshot<const RecNode*>> m);
+  ~MonitorCore();
+
+  /// res_i ← res_i ∪ {(p_i, op_i, y_i, λ_i)}; M.Write(res_i).
+  void publish(ProcId producer, const OpDesc& op, Value y, View view);
+
+  /// One checking pass for `checker`: M.Snapshot(), τ ← union, rebuild the
+  /// affected suffix of X(τ) and return the verdict X(τ) ∈ O.
+  bool check(size_t checker);
+
+  /// X(τ) of this checker's latest pass — the ERROR witness (Theorem 8.1)
+  /// and the certificate of Theorem 8.2(3).
+  History sketch(size_t checker) const;
+
+  /// λ-records currently merged by this checker (diagnostics).
+  size_t record_count(size_t checker) const;
+
+  const GenLinObject& object() const { return *obj_; }
+  size_t producers() const { return producers_.size(); }
+  size_t checkers() const { return checkers_.size(); }
+
+ private:
+  struct alignas(64) ProducerSlot {
+    const RecNode* head = nullptr;
+    std::vector<std::unique_ptr<RecNode>> owned;  // reclaimed at destruction
+  };
+  struct alignas(64) CheckerSlot {
+    std::vector<const RecNode*> seen;  // last merged head per producer
+    XBuilder builder;
+    std::unique_ptr<LeveledChecker> checker;
+  };
+
+  const GenLinObject* obj_;
+  std::unique_ptr<Snapshot<const RecNode*>> m_;  // the object M
+  std::vector<ProducerSlot> producers_;
+  std::vector<CheckerSlot> checkers_;
+};
+
+}  // namespace selin

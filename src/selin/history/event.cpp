@@ -1,0 +1,55 @@
+#include "selin/history/event.hpp"
+
+#include <sstream>
+
+namespace selin {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kEnqueue: return "Enqueue";
+    case Method::kDequeue: return "Dequeue";
+    case Method::kPush: return "Push";
+    case Method::kPop: return "Pop";
+    case Method::kInsert: return "Insert";
+    case Method::kRemove: return "Remove";
+    case Method::kContains: return "Contains";
+    case Method::kPqInsert: return "PqInsert";
+    case Method::kPqExtractMin: return "PqExtractMin";
+    case Method::kInc: return "Inc";
+    case Method::kCounterRead: return "CounterRead";
+    case Method::kRead: return "Read";
+    case Method::kWrite: return "Write";
+    case Method::kDecide: return "Decide";
+    case Method::kExchange: return "Exchange";
+    case Method::kWriteSnap: return "WriteSnap";
+  }
+  return "?";
+}
+
+std::string value_string(Value v) {
+  if (v == kEmpty) return "empty";
+  if (v == kOk) return "ok";
+  if (v == kError) return "ERROR";
+  if (v == kNoArg) return "-";
+  return std::to_string(v);
+}
+
+std::string to_string(const OpDesc& op) {
+  std::ostringstream os;
+  os << "p" << op.id.pid << "#" << op.id.seq << ":" << method_name(op.method);
+  if (op.arg != kNoArg) os << "(" << value_string(op.arg) << ")";
+  else os << "()";
+  return os.str();
+}
+
+std::string to_string(const Event& e) {
+  std::ostringstream os;
+  if (e.is_inv()) {
+    os << "inv[" << to_string(e.op) << "]";
+  } else {
+    os << "res[" << to_string(e.op) << " : " << value_string(e.result) << "]";
+  }
+  return os.str();
+}
+
+}  // namespace selin

@@ -1,0 +1,38 @@
+// Invocation/response events (Section 2 of the paper).
+//
+// A history is a sequence of invocations and responses satisfying the
+// well-formedness properties of Section 2: each process is sequential, and a
+// response matches the process's unique pending invocation.
+#pragma once
+
+#include <string>
+
+#include "selin/util/types.hpp"
+
+namespace selin {
+
+enum class EventKind : uint8_t { kInvocation, kResponse };
+
+struct Event {
+  EventKind kind = EventKind::kInvocation;
+  OpDesc op;
+  /// Response value; meaningful only for kResponse events.
+  Value result = kNoArg;
+
+  static Event inv(OpDesc op) { return Event{EventKind::kInvocation, op, kNoArg}; }
+  static Event res(OpDesc op, Value result) {
+    return Event{EventKind::kResponse, op, result};
+  }
+
+  bool is_inv() const { return kind == EventKind::kInvocation; }
+  bool is_res() const { return kind == EventKind::kResponse; }
+
+  friend bool operator==(const Event& a, const Event& b) {
+    return a.kind == b.kind && a.op == b.op &&
+           (a.is_inv() || a.result == b.result);
+  }
+};
+
+std::string to_string(const Event& e);
+
+}  // namespace selin

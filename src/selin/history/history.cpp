@@ -1,0 +1,167 @@
+#include "selin/history/history.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace selin {
+
+bool well_formed(const History& h, std::string* why) {
+  // pending[p] = index into h of p's pending invocation, or kNone.
+  std::unordered_map<ProcId, const Event*> pending;
+  std::set<uint64_t> seen_ops;
+  for (const Event& e : h) {
+    ProcId p = e.op.id.pid;
+    auto it = pending.find(p);
+    if (e.is_inv()) {
+      if (it != pending.end() && it->second != nullptr) {
+        if (why) *why = "process p" + std::to_string(p) +
+                        " invokes while an operation is pending";
+        return false;
+      }
+      if (!seen_ops.insert(e.op.id.packed()).second) {
+        if (why) *why = "duplicate invocation of " + to_string(e.op);
+        return false;
+      }
+      pending[p] = &e;
+    } else {
+      if (it == pending.end() || it->second == nullptr) {
+        if (why) *why = "response without pending invocation: " + to_string(e);
+        return false;
+      }
+      if (!(it->second->op == e.op)) {
+        if (why) *why = "response " + to_string(e) +
+                        " does not match pending invocation " +
+                        to_string(*it->second);
+        return false;
+      }
+      pending[p] = nullptr;
+    }
+  }
+  return true;
+}
+
+HistoryIndex::HistoryIndex(const History& h) {
+  std::string why;
+  if (!well_formed(h, &why)) {
+    throw std::invalid_argument("malformed history: " + why);
+  }
+  for (size_t i = 0; i < h.size(); ++i) {
+    const Event& e = h[i];
+    if (e.is_inv()) {
+      by_id_.emplace(e.op.id, ops_.size());
+      ops_.push_back(OpRecord{e.op, std::nullopt, i, OpRecord::kNoPos});
+    } else {
+      OpRecord& r = ops_[by_id_.at(e.op.id)];
+      r.result = e.result;
+      r.res_pos = i;
+      ++complete_count_;
+    }
+  }
+}
+
+const OpRecord* HistoryIndex::find(OpId id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &ops_[it->second];
+}
+
+bool HistoryIndex::real_time_before(OpId a, OpId b) const {
+  const OpRecord* ra = find(a);
+  const OpRecord* rb = find(b);
+  if (ra == nullptr || rb == nullptr) return false;
+  if (!ra->complete() || !rb->complete()) return false;
+  return ra->res_pos < rb->inv_pos;
+}
+
+bool HistoryIndex::precedes(OpId a, OpId b) const {
+  const OpRecord* ra = find(a);
+  const OpRecord* rb = find(b);
+  if (ra == nullptr || rb == nullptr) return false;
+  if (!ra->complete()) return false;
+  return ra->res_pos < rb->inv_pos;
+}
+
+History comp(const History& h) {
+  // Identify pending ops (invocation without response).
+  std::set<uint64_t> responded;
+  for (const Event& e : h) {
+    if (e.is_res()) responded.insert(e.op.id.packed());
+  }
+  History out;
+  out.reserve(h.size());
+  for (const Event& e : h) {
+    if (e.is_inv() && responded.count(e.op.id.packed()) == 0) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+History project(const History& h, ProcId p) {
+  History out;
+  for (const Event& e : h) {
+    if (e.op.id.pid == p) out.push_back(e);
+  }
+  return out;
+}
+
+bool equivalent(const History& a, const History& b) {
+  std::vector<ProcId> ps = processes(a);
+  for (ProcId p : processes(b)) {
+    if (std::find(ps.begin(), ps.end(), p) == ps.end()) ps.push_back(p);
+  }
+  for (ProcId p : ps) {
+    History pa = project(a, p);
+    History pb = project(b, p);
+    if (pa.size() != pb.size()) return false;
+    for (size_t i = 0; i < pa.size(); ++i) {
+      if (!(pa[i] == pb[i])) return false;
+    }
+  }
+  return true;
+}
+
+bool sequential(const History& h) {
+  // Alternating inv/res of the same operation.
+  bool expecting_inv = true;
+  OpId open{};
+  for (const Event& e : h) {
+    if (expecting_inv) {
+      if (!e.is_inv()) return false;
+      open = e.op.id;
+      expecting_inv = false;
+    } else {
+      if (!e.is_res() || e.op.id != open) return false;
+      expecting_inv = true;
+    }
+  }
+  return true;
+}
+
+std::vector<ProcId> processes(const History& h) {
+  std::vector<ProcId> out;
+  for (const Event& e : h) {
+    if (std::find(out.begin(), out.end(), e.op.id.pid) == out.end()) {
+      out.push_back(e.op.id.pid);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string format_history(const History& h) {
+  std::ostringstream os;
+  for (const Event& e : h) os << "  " << to_string(e) << "\n";
+  return os.str();
+}
+
+std::string format_history_inline(const History& h) {
+  std::ostringstream os;
+  for (size_t i = 0; i < h.size(); ++i) {
+    if (i != 0) os << " ";
+    os << to_string(h[i]);
+  }
+  return os.str();
+}
+
+}  // namespace selin

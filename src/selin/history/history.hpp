@@ -1,0 +1,85 @@
+// Histories and their derived structure (Sections 2 and 4 of the paper).
+//
+//  * well-formedness (each process sequential; responses match invocations)
+//  * complete / pending operations
+//  * comp(E): drop invocations of pending operations
+//  * E|p_i projection and equivalence of histories
+//  * the real-time partial orders  <_E  (complete ops only, Definition 4.2)
+//    and  ≺_E  (also relates pending ops, Section 7.1)
+//
+// A History is a plain event sequence; all structure is computed by free
+// functions so the type stays trivially serializable and cheap to slice.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "selin/history/event.hpp"
+
+namespace selin {
+
+using History = std::vector<Event>;
+
+/// A complete operation extracted from a history: its descriptor, result and
+/// the positions of its invocation/response events (kNoPos when pending).
+struct OpRecord {
+  OpDesc op;
+  std::optional<Value> result;  ///< nullopt while pending
+  size_t inv_pos = 0;
+  size_t res_pos = kNoPos;
+
+  static constexpr size_t kNoPos = static_cast<size_t>(-1);
+  bool complete() const { return res_pos != kNoPos; }
+};
+
+/// Index over a history: every operation with its interval.  Construction
+/// verifies well-formedness and throws std::invalid_argument on violations.
+class HistoryIndex {
+ public:
+  explicit HistoryIndex(const History& h);
+
+  const std::vector<OpRecord>& ops() const { return ops_; }
+  const OpRecord* find(OpId id) const;
+
+  size_t complete_count() const { return complete_count_; }
+  size_t pending_count() const { return ops_.size() - complete_count_; }
+
+  /// <_E : both complete and res(a) precedes inv(b)   (Definition 4.2)
+  bool real_time_before(OpId a, OpId b) const;
+  /// ≺_E : res(a) precedes inv(b); b may be pending    (Section 7.1)
+  bool precedes(OpId a, OpId b) const;
+
+ private:
+  std::vector<OpRecord> ops_;
+  std::unordered_map<OpId, size_t> by_id_;
+  size_t complete_count_ = 0;
+};
+
+/// True iff h satisfies the two well-formedness properties of Section 2.
+bool well_formed(const History& h, std::string* why = nullptr);
+
+/// comp(E): remove the invocations of all pending operations.
+History comp(const History& h);
+
+/// E|p: the subsequence of events of process p.
+History project(const History& h, ProcId p);
+
+/// Histories are equivalent iff E|p = F|p for every process (Section 4).
+bool equivalent(const History& a, const History& b);
+
+/// True iff h is sequential: <_h totally orders its (complete) operations,
+/// i.e. events alternate inv,res per operation with no overlap.
+bool sequential(const History& h);
+
+/// All process ids appearing in h.
+std::vector<ProcId> processes(const History& h);
+
+/// Pretty multi-line rendering (one line per event) used by witnesses.
+std::string format_history(const History& h);
+
+/// Compact single-line rendering.
+std::string format_history_inline(const History& h);
+
+}  // namespace selin

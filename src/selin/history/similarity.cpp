@@ -1,0 +1,60 @@
+#include "selin/history/similarity.hpp"
+
+#include <algorithm>
+
+namespace selin {
+
+History canonical_similarity_witness(const History& e, const History& f) {
+  HistoryIndex ie(e);
+  HistoryIndex iff(f);
+
+  History out;
+  out.reserve(e.size());
+  // Pass 1: copy e, dropping invocations of pending ops that are absent in f.
+  for (const Event& ev : e) {
+    const OpRecord* re = ie.find(ev.op.id);
+    if (ev.is_inv() && !re->complete()) {
+      const OpRecord* rf = iff.find(ev.op.id);
+      if (rf == nullptr) continue;  // removed
+    }
+    out.push_back(ev);
+  }
+  // Pass 2: append f's responses for ops pending in e but complete in f.
+  std::vector<const OpRecord*> to_append;
+  for (const OpRecord& re : ie.ops()) {
+    if (re.complete()) continue;
+    const OpRecord* rf = iff.find(re.op.id);
+    if (rf != nullptr && rf->complete()) to_append.push_back(rf);
+  }
+  std::sort(to_append.begin(), to_append.end(),
+            [](const OpRecord* a, const OpRecord* b) {
+              return a->op.id < b->op.id;
+            });
+  for (const OpRecord* rf : to_append) {
+    out.push_back(Event::res(rf->op, *rf->result));
+  }
+  return out;
+}
+
+bool similar_to(const History& e, const History& f) {
+  History eprime = canonical_similarity_witness(e, f);
+  if (!equivalent(eprime, f)) return false;
+  // ≺_E' ⊆ ≺_F : for every pair related by ≺ in E', the pair must be related
+  // in F.  Quadratic in the number of operations; histories here are the
+  // bounded witnesses used in tests and certificates.
+  HistoryIndex iep(eprime);
+  HistoryIndex iff(f);
+  const auto& ops = iep.ops();
+  for (const OpRecord& a : ops) {
+    if (!a.complete()) continue;
+    for (const OpRecord& b : ops) {
+      if (a.op.id == b.op.id) continue;
+      if (a.res_pos < b.inv_pos) {          // a ≺_E' b
+        if (!iff.precedes(a.op.id, b.op.id)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace selin

@@ -1,0 +1,27 @@
+// Similarity between histories (Definition 7.1) — the closure property that
+// defines the class GenLin (Definition 7.2).
+//
+// E is *similar to* F iff there is an E' obtained from E by appending
+// responses to some pending operations and removing the invocations of some
+// pending operations such that (1) E' and F are equivalent and (2) ≺_E' ⊆ ≺_F.
+//
+// The E' witnessing similarity, if one exists, is determined by F:
+//   * a pending op of E absent from F must have its invocation removed,
+//   * a pending op of E complete in F must get F's response appended,
+//   * a pending op of E pending in F stays pending.
+// We build that canonical E' and check the two conditions directly.
+#pragma once
+
+#include "selin/history/history.hpp"
+
+namespace selin {
+
+/// True iff e is similar to f per Definition 7.1.
+bool similar_to(const History& e, const History& f);
+
+/// The canonical E' described above (responses appended at the end, in OpId
+/// order).  Returned even when the similarity check would fail; callers that
+/// need the verdict should use similar_to().
+History canonical_similarity_witness(const History& e, const History& f);
+
+}  // namespace selin

@@ -1,0 +1,62 @@
+#include "selin/history/tight.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace selin {
+
+bool valid_trace(const AStarTrace& trace, std::string* why) {
+  std::unordered_set<uint64_t> written;
+  std::unordered_set<uint64_t> snapped;
+  // Per-process: the op currently between Write and Snap, if any.
+  std::unordered_map<ProcId, uint64_t> open;
+  for (const AStarMark& m : trace) {
+    uint64_t key = m.op.id.packed();
+    ProcId p = m.op.id.pid;
+    if (m.kind == AStarMark::Kind::kWrite) {
+      if (!written.insert(key).second) {
+        if (why) *why = "duplicate Write mark for " + to_string(m.op);
+        return false;
+      }
+      auto it = open.find(p);
+      if (it != open.end()) {
+        if (why) *why = "process p" + std::to_string(p) +
+                        " Writes while an operation is open";
+        return false;
+      }
+      open.emplace(p, key);
+    } else {
+      if (written.count(key) == 0) {
+        if (why) *why = "Snap before Write for " + to_string(m.op);
+        return false;
+      }
+      if (!snapped.insert(key).second) {
+        if (why) *why = "duplicate Snap mark for " + to_string(m.op);
+        return false;
+      }
+      auto it = open.find(p);
+      if (it == open.end() || it->second != key) {
+        if (why) *why = "Snap does not match open operation of p" +
+                        std::to_string(p);
+        return false;
+      }
+      open.erase(it);
+    }
+  }
+  return true;
+}
+
+History tight_history(const AStarTrace& trace) {
+  History out;
+  out.reserve(trace.size());
+  for (const AStarMark& m : trace) {
+    if (m.kind == AStarMark::Kind::kWrite) {
+      out.push_back(Event::inv(m.op));
+    } else {
+      out.push_back(Event::res(m.op, m.y));
+    }
+  }
+  return out;
+}
+
+}  // namespace selin

@@ -1,0 +1,45 @@
+// Tight executions (Definition 7.5) and the transformation T(E).
+//
+// In a tight execution of A* the beginning and end of every operation are
+// identified with its snapshot-Write (Figure 7 line 02) and Snapshot
+// (line 05) steps.  T(E) is obtained from any finite execution E of A* by
+//   (1) dropping pending operations that have not performed their Write,
+//   (2) moving each invocation forward to just before its Write step,
+//   (3) moving/completing each response to just after its Snapshot step.
+//
+// At the code level an execution of A* is abstracted by the global order of
+// its Write and Snapshot steps (an AStarTrace); the real-thread recorder in
+// sim/ produces these traces with a global atomic stamp.  T(E) is then a
+// plain history whose invocation events sit at the Write positions and whose
+// response events sit at the Snapshot positions — exactly the history the
+// views of A* sketch (Lemma 7.4).
+#pragma once
+
+#include "selin/history/history.hpp"
+
+namespace selin {
+
+/// One Write or Snapshot step of some operation of A*, in global real-time
+/// order.  `y` carries the response obtained from the underlying A; it is
+/// meaningful only for kSnap marks (by line 04 of Figure 7 the response from
+/// A precedes the Snapshot step).
+struct AStarMark {
+  enum class Kind : uint8_t { kWrite, kSnap };
+  Kind kind;
+  OpDesc op;
+  Value y = kNoArg;
+};
+
+using AStarTrace = std::vector<AStarMark>;
+
+/// The history of the tight execution T(E) associated with the traced
+/// execution: inv(op) at op's Write position, res(op, y) at op's Snapshot
+/// position; operations without a Write are dropped, operations with a
+/// Snapshot are complete.
+History tight_history(const AStarTrace& trace);
+
+/// Validates the trace: every op has at most one Write and one Snap, a Snap
+/// is preceded by its Write, per-process marks are sequential.
+bool valid_trace(const AStarTrace& trace, std::string* why = nullptr);
+
+}  // namespace selin

@@ -1,0 +1,91 @@
+// Wait-free atomic counter, register and consensus — the one-word objects of
+// Theorem 5.1, implemented directly on hardware read-modify-write primitives.
+#include <atomic>
+
+#include "selin/impls/concurrent.hpp"
+#include "selin/util/step_counter.hpp"
+
+namespace selin {
+namespace {
+
+class AtomicCounter final : public IConcurrent {
+ public:
+  const char* name() const override { return "atomic-counter"; }
+
+  Value apply(ProcId /*p*/, const OpDesc& op) override {
+    switch (op.method) {
+      case Method::kInc:
+        StepCounter::bump();
+        return value_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      case Method::kCounterRead:
+        StepCounter::bump();
+        return value_.load(std::memory_order_acquire);
+      default:
+        return kError;
+    }
+  }
+
+ private:
+  std::atomic<Value> value_{0};
+};
+
+class CasRegister final : public IConcurrent {
+ public:
+  explicit CasRegister(Value initial) : value_(initial) {}
+  const char* name() const override { return "cas-register"; }
+
+  Value apply(ProcId /*p*/, const OpDesc& op) override {
+    switch (op.method) {
+      case Method::kWrite:
+        StepCounter::bump();
+        value_.store(op.arg, std::memory_order_release);
+        return kOk;
+      case Method::kRead:
+        StepCounter::bump();
+        return value_.load(std::memory_order_acquire);
+      default:
+        return kError;
+    }
+  }
+
+ private:
+  std::atomic<Value> value_;
+};
+
+/// Consensus object per the Theorem 5.1 formulation: Decide(v) can be called
+/// repeatedly; the first call (across all processes) fixes the decision.
+class CasConsensus final : public IConcurrent {
+ public:
+  const char* name() const override { return "cas-consensus"; }
+
+  Value apply(ProcId /*p*/, const OpDesc& op) override {
+    if (op.method != Method::kDecide) return kError;
+    Value expected = kUndecided;
+    StepCounter::bump();
+    if (decision_.compare_exchange_strong(expected, op.arg,
+                                          std::memory_order_acq_rel)) {
+      return op.arg;
+    }
+    return expected;
+  }
+
+ private:
+  static constexpr Value kUndecided = kNoArg;
+  std::atomic<Value> decision_{kUndecided};
+};
+
+}  // namespace
+
+std::unique_ptr<IConcurrent> make_atomic_counter() {
+  return std::make_unique<AtomicCounter>();
+}
+
+std::unique_ptr<IConcurrent> make_cas_register(Value initial) {
+  return std::make_unique<CasRegister>(initial);
+}
+
+std::unique_ptr<IConcurrent> make_cas_consensus() {
+  return std::make_unique<CasConsensus>();
+}
+
+}  // namespace selin

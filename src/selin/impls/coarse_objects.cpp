@@ -1,0 +1,79 @@
+// Coarse-grained (single mutex) queue and stack.  Blocking — used as correct
+// references in differential tests and to measure what the introduction
+// warns about: composing a non-blocking A with blocking machinery forfeits
+// fault tolerance.
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "selin/impls/concurrent.hpp"
+#include "selin/util/step_counter.hpp"
+
+namespace selin {
+namespace {
+
+class CoarseQueue final : public IConcurrent {
+ public:
+  const char* name() const override { return "coarse-queue"; }
+
+  Value apply(ProcId /*p*/, const OpDesc& op) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    StepCounter::bump();
+    switch (op.method) {
+      case Method::kEnqueue:
+        items_.push_back(op.arg);
+        return kTrue;
+      case Method::kDequeue: {
+        if (items_.empty()) return kEmpty;
+        Value v = items_.front();
+        items_.pop_front();
+        return v;
+      }
+      default:
+        return kError;
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<Value> items_;
+};
+
+class CoarseStack final : public IConcurrent {
+ public:
+  const char* name() const override { return "coarse-stack"; }
+
+  Value apply(ProcId /*p*/, const OpDesc& op) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    StepCounter::bump();
+    switch (op.method) {
+      case Method::kPush:
+        items_.push_back(op.arg);
+        return kTrue;
+      case Method::kPop: {
+        if (items_.empty()) return kEmpty;
+        Value v = items_.back();
+        items_.pop_back();
+        return v;
+      }
+      default:
+        return kError;
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<Value> items_;
+};
+
+}  // namespace
+
+std::unique_ptr<IConcurrent> make_coarse_queue() {
+  return std::make_unique<CoarseQueue>();
+}
+
+std::unique_ptr<IConcurrent> make_coarse_stack() {
+  return std::make_unique<CoarseStack>();
+}
+
+}  // namespace selin

@@ -1,0 +1,71 @@
+// The black-box interface of an implementation A (Sections 2 and 3).
+//
+// A verifier can only invoke Apply(op) and receive responses — it never
+// inspects the implementation — so the interface is exactly one method.
+// Every implementation in this module is at least lock-free; blocking
+// (mutex-based) variants are provided for differential testing and to
+// exercise the Section 9.3 discussion about blocking implementations.
+#pragma once
+
+#include <memory>
+
+#include "selin/spec/spec.hpp"
+#include "selin/util/types.hpp"
+
+namespace selin {
+
+class IConcurrent {
+ public:
+  virtual ~IConcurrent() = default;
+  virtual const char* name() const = 0;
+
+  /// The single high-level operation Apply(op) of Section 2.  Thread-safe;
+  /// p identifies the calling process slot (0..n-1) and must match op.id.pid.
+  virtual Value apply(ProcId p, const OpDesc& op) = 0;
+};
+
+// Correct (linearizable) implementations.
+std::unique_ptr<IConcurrent> make_ms_queue();        ///< lock-free [Michael&Scott]
+std::unique_ptr<IConcurrent> make_treiber_stack();   ///< lock-free [Treiber]
+std::unique_ptr<IConcurrent> make_atomic_counter();  ///< wait-free fetch&add
+std::unique_ptr<IConcurrent> make_cas_register(Value initial = 0);
+std::unique_ptr<IConcurrent> make_cas_consensus();   ///< wait-free, one CAS
+std::unique_ptr<IConcurrent> make_coarse_queue();    ///< blocking baseline
+std::unique_ptr<IConcurrent> make_coarse_stack();    ///< blocking baseline
+std::unique_ptr<IConcurrent> make_harris_set();      ///< lock-free ordered set
+std::unique_ptr<IConcurrent> make_lazy_set();        ///< lazy list (fine locks)
+
+/// Herlihy's universal construction [59]: a lock-free linearizable
+/// implementation of *any* deterministic sequential specification, built on a
+/// CAS-append log replayed through the spec.  The paper's introduction uses
+/// it as the reason designing linearizable implementations is "simple".
+std::unique_ptr<IConcurrent> make_universal(std::shared_ptr<SeqSpec> spec);
+
+// Faulty implementations (fault injection for completeness tests, Section 5
+// and Theorem 8.1/8.2 completeness).  All are silent: they return plausible
+// values without signaling failure.
+///
+/// The adversarial queue from the proof of Theorem 5.1: every Enqueue
+/// returns true, every Dequeue returns empty — except process p's first
+/// Dequeue, which returns 1 even though nothing was enqueued by anyone it
+/// observed.  (`liar` selects the lying process; the paper uses p2.)
+std::unique_ptr<IConcurrent> make_thm51_queue(ProcId liar = 1);
+/// Wraps a correct queue but drops each Enqueue with probability num/den
+/// (still answering true).
+std::unique_ptr<IConcurrent> make_lossy_queue(uint64_t num, uint64_t den,
+                                              uint64_t seed);
+/// Wraps a correct queue but occasionally redelivers the previously dequeued
+/// value (duplication fault).
+std::unique_ptr<IConcurrent> make_dup_queue(uint64_t num, uint64_t den,
+                                            uint64_t seed);
+/// Counter that occasionally loses an increment (returns a stale value).
+std::unique_ptr<IConcurrent> make_stale_counter(uint64_t num, uint64_t den,
+                                                uint64_t seed);
+/// Register whose reads occasionally return a stale (overwritten) value.
+std::unique_ptr<IConcurrent> make_stale_register(uint64_t num, uint64_t den,
+                                                 uint64_t seed, Value initial = 0);
+/// Consensus that violates validity: the first decider's response is its own
+/// input XOR'd with a corruption mask (detectable through views; Section 10).
+std::unique_ptr<IConcurrent> make_invalid_consensus(Value corruption);
+
+}  // namespace selin

@@ -1,0 +1,184 @@
+// Fault-injected implementations.
+//
+// These drive the completeness side of Theorems 8.1 and 8.2: a faulty A
+// produces non-linearizable histories, and the verifier must eventually
+// report ERROR with a witness.  All faults are *silent* — the implementation
+// keeps answering plausible values — because that is the failure mode
+// runtime verification exists for.
+#include <atomic>
+#include <mutex>
+
+#include "selin/impls/concurrent.hpp"
+#include "selin/util/rng.hpp"
+#include "selin/util/step_counter.hpp"
+
+namespace selin {
+namespace {
+
+/// The queue from the proof of Theorem 5.1: Enqueue -> true, Dequeue ->
+/// empty, except the liar process's first Dequeue which returns 1.
+class Thm51Queue final : public IConcurrent {
+ public:
+  explicit Thm51Queue(ProcId liar) : liar_(liar) {}
+  const char* name() const override { return "thm51-queue"; }
+
+  Value apply(ProcId p, const OpDesc& op) override {
+    switch (op.method) {
+      case Method::kEnqueue:
+        return kTrue;
+      case Method::kDequeue:
+        if (p == liar_ && !lied_.exchange(true, std::memory_order_acq_rel)) {
+          return 1;
+        }
+        return kEmpty;
+      default:
+        return kError;
+    }
+  }
+
+ private:
+  ProcId liar_;
+  std::atomic<bool> lied_{false};
+};
+
+/// Wraps a correct implementation and corrupts a fraction of operations.
+class FaultyWrapper : public IConcurrent {
+ public:
+  FaultyWrapper(std::unique_ptr<IConcurrent> inner, uint64_t num,
+                uint64_t den, uint64_t seed)
+      : inner_(std::move(inner)), num_(num), den_(den), seed_(seed) {}
+
+ protected:
+  bool roll(const OpDesc& op) {
+    // Deterministic per-op coin: reproducible across runs with one seed.
+    Rng rng(seed_ ^ op.id.packed());
+    return rng.chance(num_, den_);
+  }
+
+  std::unique_ptr<IConcurrent> inner_;
+  uint64_t num_, den_, seed_;
+};
+
+class LossyQueue final : public FaultyWrapper {
+ public:
+  LossyQueue(uint64_t num, uint64_t den, uint64_t seed)
+      : FaultyWrapper(make_ms_queue(), num, den, seed) {}
+  const char* name() const override { return "lossy-queue"; }
+
+  Value apply(ProcId p, const OpDesc& op) override {
+    if (op.method == Method::kEnqueue && roll(op)) {
+      return kTrue;  // claim success, drop the element
+    }
+    return inner_->apply(p, op);
+  }
+};
+
+class DupQueue final : public FaultyWrapper {
+ public:
+  DupQueue(uint64_t num, uint64_t den, uint64_t seed)
+      : FaultyWrapper(make_ms_queue(), num, den, seed) {}
+  const char* name() const override { return "dup-queue"; }
+
+  Value apply(ProcId p, const OpDesc& op) override {
+    if (op.method == Method::kDequeue) {
+      Value last = last_.load(std::memory_order_acquire);
+      if (last != kNoArg && roll(op)) return last;  // redeliver
+      Value v = inner_->apply(p, op);
+      if (v != kEmpty) last_.store(v, std::memory_order_release);
+      return v;
+    }
+    return inner_->apply(p, op);
+  }
+
+ private:
+  std::atomic<Value> last_{kNoArg};
+};
+
+class StaleCounter final : public FaultyWrapper {
+ public:
+  StaleCounter(uint64_t num, uint64_t den, uint64_t seed)
+      : FaultyWrapper(make_atomic_counter(), num, den, seed) {}
+  const char* name() const override { return "stale-counter"; }
+
+  Value apply(ProcId p, const OpDesc& op) override {
+    if (op.method == Method::kInc && roll(op)) {
+      // Lose the increment: answer with the current value as if we had just
+      // incremented to it (a classic lost-update anomaly).
+      OpDesc read = op;
+      read.method = Method::kCounterRead;
+      return inner_->apply(p, read);
+    }
+    return inner_->apply(p, op);
+  }
+};
+
+class StaleRegister final : public FaultyWrapper {
+ public:
+  StaleRegister(uint64_t num, uint64_t den, uint64_t seed, Value initial)
+      : FaultyWrapper(make_cas_register(initial), num, den, seed),
+        stale_(initial) {}
+  const char* name() const override { return "stale-register"; }
+
+  Value apply(ProcId p, const OpDesc& op) override {
+    if (op.method == Method::kRead && roll(op)) {
+      return stale_.load(std::memory_order_acquire);  // overwritten value
+    }
+    Value v = inner_->apply(p, op);
+    if (op.method == Method::kWrite) {
+      stale_.store(op.arg == 0 ? 1 : op.arg - 1, std::memory_order_release);
+    }
+    return v;
+  }
+
+ private:
+  std::atomic<Value> stale_;
+};
+
+/// Violates consensus validity: the winning Decide answers a corrupted value
+/// that is no process's input — the Section 10 scenario ("a process ran solo
+/// and decided a value distinct from its input") detectable via views.
+class InvalidConsensus final : public IConcurrent {
+ public:
+  explicit InvalidConsensus(Value corruption) : corruption_(corruption) {}
+  const char* name() const override { return "invalid-consensus"; }
+
+  Value apply(ProcId /*p*/, const OpDesc& op) override {
+    if (op.method != Method::kDecide) return kError;
+    Value expected = kNoArg;
+    StepCounter::bump();
+    decision_.compare_exchange_strong(expected, op.arg ^ corruption_,
+                                      std::memory_order_acq_rel);
+    return expected == kNoArg ? (op.arg ^ corruption_) : expected;
+  }
+
+ private:
+  Value corruption_;
+  std::atomic<Value> decision_{kNoArg};
+};
+
+}  // namespace
+
+std::unique_ptr<IConcurrent> make_thm51_queue(ProcId liar) {
+  return std::make_unique<Thm51Queue>(liar);
+}
+std::unique_ptr<IConcurrent> make_lossy_queue(uint64_t num, uint64_t den,
+                                              uint64_t seed) {
+  return std::make_unique<LossyQueue>(num, den, seed);
+}
+std::unique_ptr<IConcurrent> make_dup_queue(uint64_t num, uint64_t den,
+                                            uint64_t seed) {
+  return std::make_unique<DupQueue>(num, den, seed);
+}
+std::unique_ptr<IConcurrent> make_stale_counter(uint64_t num, uint64_t den,
+                                                uint64_t seed) {
+  return std::make_unique<StaleCounter>(num, den, seed);
+}
+std::unique_ptr<IConcurrent> make_stale_register(uint64_t num, uint64_t den,
+                                                 uint64_t seed, Value initial) {
+  return std::make_unique<StaleRegister>(num, den, seed, initial);
+}
+std::unique_ptr<IConcurrent> make_invalid_consensus(Value corruption) {
+  return std::make_unique<InvalidConsensus>(corruption);
+}
+
+}  // namespace selin

@@ -1,0 +1,162 @@
+// Harris–Michael lock-free ordered set (sorted linked list with logical
+// deletion).  The canonical non-trivial lock-free structure whose
+// linearization points are *not* fixed code locations (a failed Contains may
+// linearize at another thread's CAS) — precisely the class of implementation
+// the paper's related-work section says log-based runtime checkers [30, 31]
+// cannot handle, and selin's black-box verifier can.
+//
+// Deleted nodes are unlinked but never freed while the set lives (arena
+// reclamation), which also makes the mark/next packing ABA-safe.
+#include <atomic>
+
+#include "selin/impls/concurrent.hpp"
+#include "selin/util/arena.hpp"
+#include "selin/util/step_counter.hpp"
+
+namespace selin {
+namespace {
+
+class HarrisSet final : public IConcurrent {
+ public:
+  HarrisSet() {
+    head_ = arena_.create<Node>();
+    head_->key = kNegInf;
+    tail_ = arena_.create<Node>();
+    tail_->key = kPosInf;
+    head_->next.store(pack(tail_, false), std::memory_order_relaxed);
+    tail_->next.store(pack(nullptr, false), std::memory_order_relaxed);
+  }
+
+  const char* name() const override { return "harris-set"; }
+
+  Value apply(ProcId /*p*/, const OpDesc& op) override {
+    switch (op.method) {
+      case Method::kInsert:
+        return insert(op.arg) ? kTrue : kFalse;
+      case Method::kRemove:
+        return remove(op.arg) ? kTrue : kFalse;
+      case Method::kContains:
+        return contains(op.arg) ? kTrue : kFalse;
+      default:
+        return kError;
+    }
+  }
+
+ private:
+  static constexpr Value kNegInf = std::numeric_limits<Value>::min();
+  static constexpr Value kPosInf = std::numeric_limits<Value>::max();
+
+  struct Node {
+    Value key = 0;
+    std::atomic<uintptr_t> next{0};  // pointer | mark bit
+  };
+
+  static uintptr_t pack(Node* n, bool marked) {
+    return reinterpret_cast<uintptr_t>(n) | (marked ? 1u : 0u);
+  }
+  static Node* ptr_of(uintptr_t v) {
+    return reinterpret_cast<Node*>(v & ~uintptr_t{1});
+  }
+  static bool mark_of(uintptr_t v) { return (v & 1u) != 0; }
+
+  struct Window {
+    Node* pred;
+    Node* curr;
+  };
+
+  // Find the window (pred, curr) with pred->key < key <= curr->key, physically
+  // unlinking marked nodes along the way (the helping step).
+  Window find(Value key) {
+  retry:
+    Node* pred = head_;
+    StepCounter::bump();
+    uintptr_t pv = pred->next.load(std::memory_order_acquire);
+    Node* curr = ptr_of(pv);
+    for (;;) {
+      StepCounter::bump();
+      uintptr_t cv = curr->next.load(std::memory_order_acquire);
+      while (mark_of(cv)) {
+        // curr is logically deleted: try to unlink it.
+        uintptr_t expected = pack(curr, false);
+        StepCounter::bump();
+        if (!pred->next.compare_exchange_strong(expected, pack(ptr_of(cv), false),
+                                                std::memory_order_acq_rel)) {
+          goto retry;
+        }
+        curr = ptr_of(cv);
+        StepCounter::bump();
+        cv = curr->next.load(std::memory_order_acquire);
+      }
+      if (curr->key >= key) return Window{pred, curr};
+      pred = curr;
+      curr = ptr_of(cv);
+    }
+  }
+
+  bool insert(Value key) {
+    for (;;) {
+      Window w = find(key);
+      if (w.curr->key == key) return false;  // already present
+      Node* node = arena_.create<Node>();
+      node->key = key;
+      node->next.store(pack(w.curr, false), std::memory_order_relaxed);
+      uintptr_t expected = pack(w.curr, false);
+      StepCounter::bump();
+      if (w.pred->next.compare_exchange_strong(expected, pack(node, false),
+                                               std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+  }
+
+  bool remove(Value key) {
+    for (;;) {
+      Window w = find(key);
+      if (w.curr->key != key) return false;
+      StepCounter::bump();
+      uintptr_t succ = w.curr->next.load(std::memory_order_acquire);
+      if (mark_of(succ)) continue;  // someone else is deleting; re-find
+      // Logical deletion: set the mark (the linearization point).
+      uintptr_t expected = pack(ptr_of(succ), false);
+      StepCounter::bump();
+      if (!w.curr->next.compare_exchange_strong(expected,
+                                                pack(ptr_of(succ), true),
+                                                std::memory_order_acq_rel)) {
+        continue;
+      }
+      // Physical unlink (best effort; find() helps if this fails).
+      uintptr_t e2 = pack(w.curr, false);
+      StepCounter::bump();
+      w.pred->next.compare_exchange_strong(e2, pack(ptr_of(succ), false),
+                                           std::memory_order_acq_rel);
+      return true;
+    }
+  }
+
+  bool contains(Value key) {
+    Node* curr = head_;
+    StepCounter::bump();
+    uintptr_t cv = curr->next.load(std::memory_order_acquire);
+    curr = ptr_of(cv);
+    while (curr->key < key) {
+      StepCounter::bump();
+      cv = curr->next.load(std::memory_order_acquire);
+      curr = ptr_of(cv);
+    }
+    StepCounter::bump();
+    return curr->key == key &&
+           !mark_of(curr->next.load(std::memory_order_acquire));
+  }
+
+  Arena arena_;
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace
+
+std::unique_ptr<IConcurrent> make_harris_set() {
+  return std::make_unique<HarrisSet>();
+}
+
+}  // namespace selin

@@ -1,0 +1,120 @@
+// Lazy list ordered set (Heller et al.): fine-grained per-node locking with
+// wait-free Contains.  The blocking counterpart of HarrisSet — same abstract
+// object, different progress condition — used to contrast lock-based and
+// lock-free implementations under the same verifier (the model covers
+// blocking implementations per Section 9.3).
+#include <limits>
+#include <mutex>
+
+#include "selin/impls/concurrent.hpp"
+#include "selin/util/arena.hpp"
+#include "selin/util/step_counter.hpp"
+
+namespace selin {
+namespace {
+
+class LazySet final : public IConcurrent {
+ public:
+  LazySet() {
+    head_ = arena_.create<Node>();
+    head_->key = std::numeric_limits<Value>::min();
+    tail_ = arena_.create<Node>();
+    tail_->key = std::numeric_limits<Value>::max();
+    head_->next.store(tail_, std::memory_order_relaxed);
+  }
+
+  const char* name() const override { return "lazy-set"; }
+
+  Value apply(ProcId /*p*/, const OpDesc& op) override {
+    switch (op.method) {
+      case Method::kInsert:
+        return insert(op.arg) ? kTrue : kFalse;
+      case Method::kRemove:
+        return remove(op.arg) ? kTrue : kFalse;
+      case Method::kContains:
+        return contains(op.arg) ? kTrue : kFalse;
+      default:
+        return kError;
+    }
+  }
+
+ private:
+  struct Node {
+    Value key = 0;
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> marked{false};
+    std::mutex mu;
+  };
+
+  // Walk without locks; lock pred/curr; validate.
+  bool validate(Node* pred, Node* curr) {
+    StepCounter::bump();
+    return !pred->marked.load(std::memory_order_acquire) &&
+           !curr->marked.load(std::memory_order_acquire) &&
+           pred->next.load(std::memory_order_acquire) == curr;
+  }
+
+  template <typename F>
+  auto with_window(Value key, F&& body) {
+    for (;;) {
+      Node* pred = head_;
+      StepCounter::bump();
+      Node* curr = pred->next.load(std::memory_order_acquire);
+      while (curr->key < key) {
+        pred = curr;
+        StepCounter::bump();
+        curr = curr->next.load(std::memory_order_acquire);
+      }
+      std::scoped_lock lock(pred->mu, curr->mu);
+      if (!validate(pred, curr)) continue;
+      return body(pred, curr);
+    }
+  }
+
+  bool insert(Value key) {
+    return with_window(key, [&](Node* pred, Node* curr) {
+      if (curr->key == key) return false;
+      Node* node = arena_.create<Node>();
+      node->key = key;
+      node->next.store(curr, std::memory_order_relaxed);
+      StepCounter::bump();
+      pred->next.store(node, std::memory_order_release);
+      return true;
+    });
+  }
+
+  bool remove(Value key) {
+    return with_window(key, [&](Node* pred, Node* curr) {
+      if (curr->key != key) return false;
+      StepCounter::bump();
+      curr->marked.store(true, std::memory_order_release);  // logical delete
+      StepCounter::bump();
+      pred->next.store(curr->next.load(std::memory_order_relaxed),
+                       std::memory_order_release);
+      return true;
+    });
+  }
+
+  // Wait-free: one pass, no locks, no retries.
+  bool contains(Value key) {
+    Node* curr = head_;
+    while (curr->key < key) {
+      StepCounter::bump();
+      curr = curr->next.load(std::memory_order_acquire);
+    }
+    StepCounter::bump();
+    return curr->key == key && !curr->marked.load(std::memory_order_acquire);
+  }
+
+  Arena arena_;
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace
+
+std::unique_ptr<IConcurrent> make_lazy_set() {
+  return std::make_unique<LazySet>();
+}
+
+}  // namespace selin

@@ -1,0 +1,109 @@
+// Michael & Scott lock-free FIFO queue.
+//
+// Nodes are arena-owned and reclaimed when the queue is destroyed, so the
+// implementation is safe against the ABA problem without hazard pointers
+// (pointers are never reused while the queue lives).  Base-object steps are
+// counted for the step-complexity benchmarks.
+#include <atomic>
+
+#include "selin/impls/concurrent.hpp"
+#include "selin/util/arena.hpp"
+#include "selin/util/step_counter.hpp"
+
+namespace selin {
+namespace {
+
+class MsQueue final : public IConcurrent {
+ public:
+  MsQueue() {
+    Node* sentinel = arena_.create<Node>();
+    sentinel->next.store(nullptr, std::memory_order_relaxed);
+    head_.store(sentinel, std::memory_order_relaxed);
+    tail_.store(sentinel, std::memory_order_relaxed);
+  }
+
+  const char* name() const override { return "ms-queue"; }
+
+  Value apply(ProcId /*p*/, const OpDesc& op) override {
+    switch (op.method) {
+      case Method::kEnqueue:
+        enqueue(op.arg);
+        return kTrue;
+      case Method::kDequeue:
+        return dequeue();
+      default:
+        return kError;
+    }
+  }
+
+ private:
+  struct Node {
+    Value value = kNoArg;
+    std::atomic<Node*> next{nullptr};
+  };
+
+  void enqueue(Value v) {
+    Node* node = arena_.create<Node>();
+    node->value = v;
+    node->next.store(nullptr, std::memory_order_relaxed);
+    for (;;) {
+      StepCounter::bump();
+      Node* last = tail_.load(std::memory_order_acquire);
+      StepCounter::bump();
+      Node* next = last->next.load(std::memory_order_acquire);
+      if (last != tail_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) {
+        StepCounter::bump();
+        if (last->next.compare_exchange_weak(next, node,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+          StepCounter::bump();
+          tail_.compare_exchange_strong(last, node, std::memory_order_release,
+                                        std::memory_order_relaxed);
+          return;
+        }
+      } else {
+        StepCounter::bump();
+        tail_.compare_exchange_strong(last, next, std::memory_order_release,
+                                      std::memory_order_relaxed);
+      }
+    }
+  }
+
+  Value dequeue() {
+    for (;;) {
+      StepCounter::bump();
+      Node* first = head_.load(std::memory_order_acquire);
+      StepCounter::bump();
+      Node* last = tail_.load(std::memory_order_acquire);
+      StepCounter::bump();
+      Node* next = first->next.load(std::memory_order_acquire);
+      if (first != head_.load(std::memory_order_acquire)) continue;
+      if (first == last) {
+        if (next == nullptr) return kEmpty;
+        StepCounter::bump();
+        tail_.compare_exchange_strong(last, next, std::memory_order_release,
+                                      std::memory_order_relaxed);
+        continue;
+      }
+      Value v = next->value;
+      StepCounter::bump();
+      if (head_.compare_exchange_weak(first, next, std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        return v;
+      }
+    }
+  }
+
+  Arena arena_;
+  alignas(64) std::atomic<Node*> head_;
+  alignas(64) std::atomic<Node*> tail_;
+};
+
+}  // namespace
+
+std::unique_ptr<IConcurrent> make_ms_queue() {
+  return std::make_unique<MsQueue>();
+}
+
+}  // namespace selin

@@ -1,0 +1,70 @@
+// Treiber lock-free LIFO stack.  Arena-owned nodes (no reuse while the stack
+// lives) make the plain CAS loop ABA-safe.
+#include <atomic>
+
+#include "selin/impls/concurrent.hpp"
+#include "selin/util/arena.hpp"
+#include "selin/util/step_counter.hpp"
+
+namespace selin {
+namespace {
+
+class TreiberStack final : public IConcurrent {
+ public:
+  const char* name() const override { return "treiber-stack"; }
+
+  Value apply(ProcId /*p*/, const OpDesc& op) override {
+    switch (op.method) {
+      case Method::kPush:
+        push(op.arg);
+        return kTrue;
+      case Method::kPop:
+        return pop();
+      default:
+        return kError;
+    }
+  }
+
+ private:
+  struct Node {
+    Value value;
+    Node* next;
+  };
+
+  void push(Value v) {
+    Node* node = arena_.create<Node>();
+    node->value = v;
+    StepCounter::bump();
+    Node* top = top_.load(std::memory_order_relaxed);
+    do {
+      node->next = top;
+      StepCounter::bump();
+    } while (!top_.compare_exchange_weak(top, node, std::memory_order_release,
+                                         std::memory_order_relaxed));
+  }
+
+  Value pop() {
+    StepCounter::bump();
+    Node* top = top_.load(std::memory_order_acquire);
+    for (;;) {
+      if (top == nullptr) return kEmpty;
+      StepCounter::bump();
+      if (top_.compare_exchange_weak(top, top->next,
+                                     std::memory_order_acquire,
+                                     std::memory_order_acquire)) {
+        return top->value;
+      }
+    }
+  }
+
+  Arena arena_;
+  alignas(64) std::atomic<Node*> top_{nullptr};
+};
+
+}  // namespace
+
+std::unique_ptr<IConcurrent> make_treiber_stack() {
+  return std::make_unique<TreiberStack>();
+}
+
+}  // namespace selin

@@ -1,0 +1,128 @@
+// Herlihy's universal construction [59]: a lock-free linearizable
+// implementation of any deterministic sequential specification.
+//
+// Operations are appended to a single CAS-ordered log; the log order *is*
+// the linearization order.  Each node's result and post-state are computed
+// deterministically from its predecessor's post-state, so every helping
+// thread computes identical values and the first CAS wins (the others
+// discard their duplicate).  The construction is lock-free: a failed append
+// CAS means another operation was appended.
+#include <atomic>
+
+#include "selin/impls/concurrent.hpp"
+#include "selin/util/arena.hpp"
+#include "selin/util/step_counter.hpp"
+
+namespace selin {
+namespace {
+
+class Universal final : public IConcurrent {
+ public:
+  explicit Universal(std::shared_ptr<SeqSpec> spec) : spec_(std::move(spec)) {
+    Node* sentinel = arena_.create<Node>();
+    auto* comp = arena_.create<Computed>();
+    comp->state = spec_->initial().release();
+    comp->result = kNoArg;
+    sentinel->computed.store(comp, std::memory_order_relaxed);
+    head_ = sentinel;
+    tail_hint_.store(sentinel, std::memory_order_relaxed);
+    computed_hint_.store(sentinel, std::memory_order_relaxed);
+  }
+
+  ~Universal() override {
+    for (Node* n = head_; n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      Computed* c = n->computed.load(std::memory_order_relaxed);
+      if (c != nullptr) delete c->state;
+    }
+  }
+
+  const char* name() const override { return "universal"; }
+
+  Value apply(ProcId /*p*/, const OpDesc& op) override {
+    Node* node = arena_.create<Node>();
+    node->op = op;
+    append(node);
+    compute_up_to(node);
+    return node->computed.load(std::memory_order_acquire)->result;
+  }
+
+ private:
+  struct Computed {
+    SeqState* state = nullptr;
+    Value result = kNoArg;
+  };
+  struct Node {
+    OpDesc op;
+    std::atomic<Node*> next{nullptr};
+    std::atomic<Computed*> computed{nullptr};
+  };
+
+  void append(Node* node) {
+    StepCounter::bump();
+    Node* cur = tail_hint_.load(std::memory_order_acquire);
+    for (;;) {
+      StepCounter::bump();
+      Node* next = cur->next.load(std::memory_order_acquire);
+      if (next != nullptr) {
+        cur = next;
+        continue;
+      }
+      StepCounter::bump();
+      if (cur->next.compare_exchange_weak(next, node,
+                                          std::memory_order_release,
+                                          std::memory_order_acquire)) {
+        break;
+      }
+      // CAS failure loaded the new next into `next`.
+      cur = next;
+    }
+    StepCounter::bump();
+    tail_hint_.store(node, std::memory_order_release);
+  }
+
+  void compute_up_to(Node* node) {
+    if (node->computed.load(std::memory_order_acquire) != nullptr) return;
+    StepCounter::bump();
+    Node* c = computed_hint_.load(std::memory_order_acquire);
+    // The hint always references a computed node.  If it sits past `node`,
+    // node is already computed and the loop below never starts.
+    while (node->computed.load(std::memory_order_acquire) == nullptr) {
+      StepCounter::bump();
+      Node* nx = c->next.load(std::memory_order_acquire);
+      Computed* prev = c->computed.load(std::memory_order_acquire);
+      if (nx->computed.load(std::memory_order_acquire) == nullptr) {
+        auto state = prev->state->clone();
+        Value result = state->step(nx->op.method, nx->op.arg);
+        auto* comp = arena_.create<Computed>();
+        comp->state = state.get();
+        comp->result = result;
+        Computed* expected = nullptr;
+        StepCounter::bump();
+        if (nx->computed.compare_exchange_strong(expected, comp,
+                                                 std::memory_order_acq_rel)) {
+          state.release();
+        }
+        // On failure another helper installed the identical computation; our
+        // clone is released by `state`'s destructor.
+      }
+      c = nx;
+    }
+    StepCounter::bump();
+    computed_hint_.store(c, std::memory_order_release);
+  }
+
+  std::shared_ptr<SeqSpec> spec_;
+  Arena arena_;
+  Node* head_;
+  alignas(64) std::atomic<Node*> tail_hint_;
+  alignas(64) std::atomic<Node*> computed_hint_;
+};
+
+}  // namespace
+
+std::unique_ptr<IConcurrent> make_universal(std::shared_ptr<SeqSpec> spec) {
+  return std::make_unique<Universal>(std::move(spec));
+}
+
+}  // namespace selin

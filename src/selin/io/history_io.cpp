@@ -1,0 +1,180 @@
+#include "selin/io/history_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace selin {
+
+std::optional<Method> parse_method(const std::string& name) {
+  static const std::pair<const char*, Method> kTable[] = {
+      {"Enqueue", Method::kEnqueue},     {"Dequeue", Method::kDequeue},
+      {"Push", Method::kPush},           {"Pop", Method::kPop},
+      {"Insert", Method::kInsert},       {"Remove", Method::kRemove},
+      {"Contains", Method::kContains},   {"PqInsert", Method::kPqInsert},
+      {"PqExtractMin", Method::kPqExtractMin},
+      {"Inc", Method::kInc},             {"CounterRead", Method::kCounterRead},
+      {"Read", Method::kRead},           {"Write", Method::kWrite},
+      {"Decide", Method::kDecide},       {"Exchange", Method::kExchange},
+      {"WriteSnap", Method::kWriteSnap},
+  };
+  for (const auto& [n, m] : kTable) {
+    if (name == n) return m;
+  }
+  return std::nullopt;
+}
+
+bool method_takes_arg(Method m) {
+  switch (m) {
+    case Method::kEnqueue:
+    case Method::kPush:
+    case Method::kInsert:
+    case Method::kRemove:
+    case Method::kContains:
+    case Method::kPqInsert:
+    case Method::kWrite:
+    case Method::kDecide:
+    case Method::kExchange:
+    case Method::kWriteSnap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<Value> parse_value(const std::string& token) {
+  if (token == "empty") return kEmpty;
+  if (token == "ok") return kOk;
+  if (token == "true") return kTrue;
+  if (token == "false") return kFalse;
+  if (token == "error") return kError;
+  try {
+    size_t pos = 0;
+    Value v = std::stoll(token, &pos);
+    if (pos != token.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+History parse_history(std::istream& in) {
+  History h;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::vector<std::string> tok;
+    std::string t;
+    while (ls >> t) tok.push_back(t);
+    if (tok.empty()) continue;
+
+    if (tok[0] != "inv" && tok[0] != "res") {
+      throw HistoryParseError(lineno, "expected 'inv' or 'res', got '" +
+                                          tok[0] + "'");
+    }
+    bool is_inv = tok[0] == "inv";
+    if (tok.size() < 4) {
+      throw HistoryParseError(lineno, "too few fields");
+    }
+    OpDesc op;
+    try {
+      op.id.pid = static_cast<ProcId>(std::stoul(tok[1]));
+      op.id.seq = static_cast<uint32_t>(std::stoul(tok[2]));
+    } catch (const std::exception&) {
+      throw HistoryParseError(lineno, "bad pid/seq");
+    }
+    auto m = parse_method(tok[3]);
+    if (!m.has_value()) {
+      throw HistoryParseError(lineno, "unknown method '" + tok[3] + "'");
+    }
+    op.method = *m;
+    size_t next = 4;
+    if (method_takes_arg(*m)) {
+      if (tok.size() <= next) {
+        throw HistoryParseError(lineno, "method requires an argument");
+      }
+      auto arg = parse_value(tok[next++]);
+      if (!arg.has_value()) throw HistoryParseError(lineno, "bad argument");
+      op.arg = *arg;
+    }
+    if (is_inv) {
+      if (tok.size() != next) {
+        throw HistoryParseError(lineno, "trailing tokens on invocation");
+      }
+      h.push_back(Event::inv(op));
+    } else {
+      if (tok.size() != next + 1) {
+        throw HistoryParseError(lineno, "response requires exactly one result");
+      }
+      auto res = parse_value(tok[next]);
+      if (!res.has_value()) throw HistoryParseError(lineno, "bad result");
+      h.push_back(Event::res(op, *res));
+    }
+  }
+  std::string why;
+  if (!well_formed(h, &why)) {
+    throw HistoryParseError(lineno, "history not well-formed: " + why);
+  }
+  return h;
+}
+
+History parse_history_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_history(in);
+}
+
+namespace {
+
+const char* method_spelling(Method m) {
+  switch (m) {
+    case Method::kEnqueue: return "Enqueue";
+    case Method::kDequeue: return "Dequeue";
+    case Method::kPush: return "Push";
+    case Method::kPop: return "Pop";
+    case Method::kInsert: return "Insert";
+    case Method::kRemove: return "Remove";
+    case Method::kContains: return "Contains";
+    case Method::kPqInsert: return "PqInsert";
+    case Method::kPqExtractMin: return "PqExtractMin";
+    case Method::kInc: return "Inc";
+    case Method::kCounterRead: return "CounterRead";
+    case Method::kRead: return "Read";
+    case Method::kWrite: return "Write";
+    case Method::kDecide: return "Decide";
+    case Method::kExchange: return "Exchange";
+    case Method::kWriteSnap: return "WriteSnap";
+  }
+  return "?";
+}
+
+std::string value_token(Value v) {
+  if (v == kEmpty) return "empty";
+  if (v == kOk) return "ok";
+  if (v == kError) return "error";
+  return std::to_string(v);
+}
+
+}  // namespace
+
+void write_history(std::ostream& out, const History& h) {
+  for (const Event& e : h) {
+    out << (e.is_inv() ? "inv " : "res ") << e.op.id.pid << " " << e.op.id.seq
+        << " " << method_spelling(e.op.method);
+    if (method_takes_arg(e.op.method)) out << " " << value_token(e.op.arg);
+    if (e.is_res()) out << " " << value_token(e.result);
+    out << "\n";
+  }
+}
+
+std::string history_to_string(const History& h) {
+  std::ostringstream os;
+  write_history(os, h);
+  return os.str();
+}
+
+}  // namespace selin

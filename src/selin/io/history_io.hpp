@@ -1,0 +1,61 @@
+// Plain-text history serialization.
+//
+// Lets users check traces captured from *their own* systems with selin's
+// membership engine (the Porcupine/lincheck offline-checker workflow), and
+// makes witnesses/certificates exportable artifacts for the forensic stage
+// of Section 8.3: a self-enforced object's certificate can be written to a
+// file, shipped to an auditor, and re-validated with `selin_check`.
+//
+// Format — one event per line, '#' comments, blank lines ignored:
+//
+//     inv <pid> <seq> <Method> [arg]
+//     res <pid> <seq> <Method> [arg] <result>
+//
+// where <Method> is the enum spelling (Enqueue, Dequeue, Push, ...), [arg]
+// is required exactly for methods that take one, and values are integers or
+// the symbolic constants `empty`, `ok`, `true`, `false`, `error`.
+//
+// Example:
+//     inv 0 0 Enqueue 5
+//     res 0 0 Enqueue 5 true
+//     inv 1 0 Dequeue
+//     res 1 0 Dequeue 5
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "selin/history/history.hpp"
+
+namespace selin {
+
+class HistoryParseError : public std::runtime_error {
+ public:
+  HistoryParseError(size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  size_t line() const { return line_; }
+
+ private:
+  size_t line_;
+};
+
+/// Parses the format above.  Throws HistoryParseError on malformed lines;
+/// the returned history is additionally checked for well-formedness.
+History parse_history(std::istream& in);
+History parse_history_string(const std::string& text);
+
+/// Serializes a history in the format above (round-trips with parse).
+void write_history(std::ostream& out, const History& h);
+std::string history_to_string(const History& h);
+
+/// Method-name spellings used by the format.
+std::optional<Method> parse_method(const std::string& name);
+bool method_takes_arg(Method m);
+
+/// Parses `empty`/`ok`/`true`/`false`/`error` or a decimal integer.
+std::optional<Value> parse_value(const std::string& token);
+
+}  // namespace selin

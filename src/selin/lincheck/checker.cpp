@@ -1,0 +1,282 @@
+#include "selin/lincheck/checker.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "selin/lincheck/config.hpp"
+
+namespace selin {
+
+using lincheck::Config;
+
+// ---------------------------------------------------------------------------
+// LinMonitor
+// ---------------------------------------------------------------------------
+
+struct LinMonitor::Impl {
+  const SeqSpec* spec;
+  size_t max_configs;
+  bool ok = true;
+  std::vector<Config> frontier;
+  std::vector<OpDesc> open;  // invoked, response not yet fed
+
+  Impl(const SeqSpec& s, size_t cap) : spec(&s), max_configs(cap) {
+    Config c;
+    c.state = s.initial();
+    frontier.push_back(std::move(c));
+  }
+
+  Impl(const Impl& o) : spec(o.spec), max_configs(o.max_configs), ok(o.ok),
+                        open(o.open) {
+    frontier.reserve(o.frontier.size());
+    for (const Config& c : o.frontier) frontier.push_back(c.clone());
+  }
+
+  // All configurations reachable from `frontier` by linearizing any sequence
+  // of open, not-yet-linearized operations (BFS with dedup).
+  std::vector<Config> closure() const {
+    std::vector<Config> result;
+    std::unordered_set<std::string> seen;
+    std::deque<const Config*> work;
+    for (const Config& c : frontier) {
+      std::string k = c.key();
+      if (seen.insert(std::move(k)).second) {
+        result.push_back(c.clone());
+      }
+    }
+    // Index-based BFS (result may reallocate).
+    for (size_t i = 0; i < result.size(); ++i) {
+      for (const OpDesc& od : open) {
+        if (result[i].find(od.id) != nullptr) continue;
+        Config next = result[i].clone();
+        Value assigned = next.state->step(od.method, od.arg);
+        next.add(od.id, assigned);
+        std::string k = next.key();
+        if (seen.insert(std::move(k)).second) {
+          if (result.size() >= max_configs) throw CheckerOverflow{};
+          result.push_back(std::move(next));
+        }
+      }
+    }
+    return result;
+  }
+
+  void feed(const Event& e) {
+    if (!ok) return;
+    if (e.is_inv()) {
+      open.push_back(e.op);
+      return;
+    }
+    // Response of e.op with result e.result: every surviving configuration
+    // must have linearized e.op with exactly that result.
+    std::vector<Config> expanded = closure();
+    std::vector<Config> filtered;
+    std::unordered_set<std::string> seen;
+    for (Config& c : expanded) {
+      const lincheck::LinearizedOp* l = c.find(e.op.id);
+      if (l == nullptr || l->assigned != e.result) continue;
+      c.remove(e.op.id);
+      std::string k = c.key();
+      if (seen.insert(std::move(k)).second) filtered.push_back(std::move(c));
+    }
+    for (size_t i = 0; i < open.size(); ++i) {
+      if (open[i].id == e.op.id) {
+        open.erase(open.begin() + i);
+        break;
+      }
+    }
+    frontier = std::move(filtered);
+    if (frontier.empty()) ok = false;
+  }
+};
+
+LinMonitor::LinMonitor(const SeqSpec& spec, size_t max_configs)
+    : impl_(std::make_unique<Impl>(spec, max_configs)) {}
+
+LinMonitor::LinMonitor(const LinMonitor& other)
+    : impl_(std::make_unique<Impl>(*other.impl_)) {}
+
+LinMonitor::~LinMonitor() = default;
+
+void LinMonitor::feed(const Event& e) { impl_->feed(e); }
+bool LinMonitor::ok() const { return impl_->ok; }
+size_t LinMonitor::frontier_size() const { return impl_->frontier.size(); }
+
+std::unique_ptr<MembershipMonitor> LinMonitor::clone() const {
+  return std::make_unique<LinMonitor>(*this);
+}
+
+bool linearizable(const SeqSpec& spec, const History& h, size_t max_configs) {
+  LinMonitor m(spec, max_configs);
+  for (const Event& e : h) {
+    m.feed(e);
+    if (!m.ok()) return false;
+  }
+  return m.ok();
+}
+
+// ---------------------------------------------------------------------------
+// find_linearization: memoized DFS recording the linearization order.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DfsCtx {
+  const SeqSpec* spec;
+  const History* h;
+  std::vector<OpDesc> all_ops;                      // by first appearance
+  std::unordered_map<uint64_t, Value> responses;    // op -> observed result
+  std::unordered_set<std::string> failed;           // memo of dead states
+  size_t max_visited;
+  size_t visited = 0;
+
+  // The linearization order: (op, result assigned by the machine).
+  std::vector<std::pair<OpDesc, Value>> order;
+
+  std::string memo_key(size_t idx, const Config& c) const {
+    std::ostringstream os;
+    os << idx << "#" << c.key();
+    return os.str();
+  }
+
+  bool dfs(size_t idx, Config& c, std::vector<OpDesc>& open) {
+    if (++visited > max_visited) throw CheckerOverflow{};
+    if (idx == h->size()) return true;
+    std::string key = memo_key(idx, c);
+    if (failed.count(key) != 0) return false;
+
+    const Event& e = (*h)[idx];
+    bool found = false;
+    if (e.is_inv()) {
+      open.push_back(e.op);
+      found = dfs(idx + 1, c, open);
+      if (!found) open.pop_back();
+    } else {
+      const lincheck::LinearizedOp* l = c.find(e.op.id);
+      if (l != nullptr) {
+        if (l->assigned == e.result) {
+          Config next = c.clone();
+          next.remove(e.op.id);
+          std::vector<OpDesc> next_open;
+          for (const OpDesc& od : open) {
+            if (od.id != e.op.id) next_open.push_back(od);
+          }
+          found = dfs(idx + 1, next, next_open);
+          if (found) {
+            c = std::move(next);
+            open = std::move(next_open);
+          }
+        }
+      } else {
+        // Must linearize some open op now; try each (preferring e.op, which
+        // prunes fastest when it matches immediately).
+        std::vector<size_t> cand;
+        for (size_t i = 0; i < open.size(); ++i) {
+          if (c.find(open[i].id) == nullptr) {
+            if (open[i].id == e.op.id) cand.insert(cand.begin(), i);
+            else cand.push_back(i);
+          }
+        }
+        for (size_t i : cand) {
+          Config next = c.clone();
+          Value assigned = next.state->step(open[i].method, open[i].arg);
+          if (open[i].id == e.op.id && assigned != e.result) continue;
+          next.add(open[i].id, assigned);
+          size_t order_mark = order.size();
+          order.emplace_back(open[i], assigned);
+          if (dfs(idx, next, open)) {  // same event, new machine state
+            c = std::move(next);
+            found = true;
+            break;
+          }
+          order.resize(order_mark);
+        }
+      }
+    }
+    if (!found) failed.insert(std::move(key));
+    return found;
+  }
+};
+
+}  // namespace
+
+std::optional<History> find_linearization(const SeqSpec& spec,
+                                          const History& h,
+                                          size_t max_visited) {
+  DfsCtx ctx;
+  ctx.spec = &spec;
+  ctx.h = &h;
+  ctx.max_visited = max_visited;
+
+  Config c;
+  c.state = spec.initial();
+  std::vector<OpDesc> open;
+  if (!ctx.dfs(0, c, open)) return std::nullopt;
+
+  History s;
+  s.reserve(ctx.order.size() * 2);
+  for (const auto& [op, assigned] : ctx.order) {
+    s.push_back(Event::inv(op));
+    s.push_back(Event::res(op, assigned));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force oracle (tests only).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Enumerate linearization orders of a subset of ops respecting real-time
+// order and the spec; complete ops must be included with matching results,
+// pending ops are optional with any spec result.
+struct Brute {
+  const SeqSpec* spec;
+  std::vector<OpRecord> ops;
+  const HistoryIndex* index;
+
+  bool rec(SeqState& state, std::vector<bool>& used, size_t remaining_complete) {
+    if (remaining_complete == 0) return true;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (used[i]) continue;
+      // Real-time: an unused op j with res(j) < inv(i) must come first.
+      bool blocked = false;
+      for (size_t j = 0; j < ops.size(); ++j) {
+        if (j == i || used[j]) continue;
+        if (ops[j].complete() &&
+            index->precedes(ops[j].op.id, ops[i].op.id)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
+      auto next = state.clone();
+      Value got = next->step(ops[i].op.method, ops[i].op.arg);
+      if (ops[i].complete() && got != *ops[i].result) continue;
+      used[i] = true;
+      if (rec(*next, used,
+              remaining_complete - (ops[i].complete() ? 1 : 0))) {
+        return true;
+      }
+      used[i] = false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool linearizable_bruteforce(const SeqSpec& spec, const History& h) {
+  HistoryIndex index(h);
+  Brute b;
+  b.spec = &spec;
+  b.ops = index.ops();
+  b.index = &index;
+  auto state = spec.initial();
+  std::vector<bool> used(b.ops.size(), false);
+  return b.rec(*state, used, index.complete_count());
+}
+
+}  // namespace selin

@@ -1,0 +1,74 @@
+// Shared configuration machinery for the frontier-based checkers.
+//
+// A configuration pairs a sequential-machine state with the multimap of
+// operations that have been *linearized but not yet responded*, together with
+// the result the machine assigned to each.  Two configurations are equal iff
+// their canonical keys are equal; the frontier deduplicates on the key.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "selin/spec/spec.hpp"
+
+namespace selin::lincheck {
+
+struct LinearizedOp {
+  OpId id;
+  Value assigned;
+
+  friend bool operator<(const LinearizedOp& a, const LinearizedOp& b) {
+    return a.id < b.id;
+  }
+};
+
+struct Config {
+  std::unique_ptr<SeqState> state;
+  std::vector<LinearizedOp> linearized;  // kept sorted by OpId
+
+  Config clone() const {
+    Config c;
+    c.state = state->clone();
+    c.linearized = linearized;
+    return c;
+  }
+
+  /// Canonical deduplication key.
+  std::string key() const {
+    std::ostringstream os;
+    os << state->encode() << "|";
+    for (const LinearizedOp& l : linearized) {
+      os << l.id.pid << "." << l.id.seq << "=" << l.assigned << ";";
+    }
+    return os.str();
+  }
+
+  const LinearizedOp* find(OpId id) const {
+    auto it = std::lower_bound(linearized.begin(), linearized.end(),
+                               LinearizedOp{id, 0});
+    if (it != linearized.end() && it->id == id) return &*it;
+    return nullptr;
+  }
+
+  void add(OpId id, Value assigned) {
+    auto it = std::lower_bound(linearized.begin(), linearized.end(),
+                               LinearizedOp{id, 0});
+    linearized.insert(it, LinearizedOp{id, assigned});
+  }
+
+  void remove(OpId id) {
+    auto it = std::lower_bound(linearized.begin(), linearized.end(),
+                               LinearizedOp{id, 0});
+    if (it != linearized.end() && it->id == id) linearized.erase(it);
+  }
+};
+
+/// An operation that has been invoked and whose response has not been fed.
+struct OpenOp {
+  OpDesc op;
+};
+
+}  // namespace selin::lincheck

@@ -1,0 +1,277 @@
+#include "selin/lincheck/intervallin.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "selin/lincheck/checker.hpp"
+
+namespace selin {
+
+namespace {
+
+/// A configuration of the interval machine: machine state, the operations
+/// currently open *inside* the machine, and the responses already assigned
+/// (machine-responded, awaiting the history's response event).
+struct IConfig {
+  std::unique_ptr<SeqState> state;
+  std::vector<OpId> machine_open;            // sorted
+  std::vector<std::pair<OpId, Value>> assigned;  // sorted by OpId
+
+  IConfig clone() const {
+    IConfig c;
+    c.state = state->clone();
+    c.machine_open = machine_open;
+    c.assigned = assigned;
+    return c;
+  }
+
+  std::string key() const {
+    std::ostringstream os;
+    os << state->encode() << "|";
+    for (OpId id : machine_open) os << id.pid << "." << id.seq << ",";
+    os << "|";
+    for (const auto& [id, v] : assigned) {
+      os << id.pid << "." << id.seq << "=" << v << ";";
+    }
+    return os.str();
+  }
+
+  bool is_machine_open(OpId id) const {
+    return std::binary_search(
+        machine_open.begin(), machine_open.end(), id,
+        [](OpId a, OpId b) { return a.packed() < b.packed(); });
+  }
+
+  const Value* find_assigned(OpId id) const {
+    for (const auto& [aid, v] : assigned) {
+      if (aid == id) return &v;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace
+
+struct IntervalLinMonitor::Impl {
+  const IntervalSeqSpec* spec;
+  size_t max_configs;
+  bool ok = true;
+  std::vector<IConfig> frontier;
+  std::vector<OpDesc> history_open;  // invoked in the history, not responded
+
+  Impl(const IntervalSeqSpec& s, size_t cap) : spec(&s), max_configs(cap) {
+    IConfig c;
+    c.state = s.initial();
+    frontier.push_back(std::move(c));
+  }
+
+  Impl(const Impl& o)
+      : spec(o.spec), max_configs(o.max_configs), ok(o.ok),
+        history_open(o.history_open) {
+    frontier.reserve(o.frontier.size());
+    for (const IConfig& c : o.frontier) frontier.push_back(c.clone());
+  }
+
+  const OpDesc* find_open(OpId id) const {
+    for (const OpDesc& od : history_open) {
+      if (od.id == id) return &od;
+    }
+    return nullptr;
+  }
+
+  // Closure under (a) machine-invoking any non-empty subset of history-open
+  // ops not yet in the machine, and (b) machine-responding any machine-open
+  // op without an assigned value.
+  std::vector<IConfig> closure() const {
+    std::vector<IConfig> result;
+    std::unordered_set<std::string> seen;
+    for (const IConfig& c : frontier) {
+      if (seen.insert(c.key()).second) result.push_back(c.clone());
+    }
+    for (size_t i = 0; i < result.size(); ++i) {
+      // (a) invoke subsets of eligible ops.
+      std::vector<OpDesc> eligible;
+      for (const OpDesc& od : history_open) {
+        if (!result[i].is_machine_open(od.id) &&
+            result[i].find_assigned(od.id) == nullptr) {
+          eligible.push_back(od);
+        }
+      }
+      if (eligible.size() > 16) throw CheckerOverflow{};
+      for (uint32_t mask = 1; mask < (1u << eligible.size()); ++mask) {
+        std::vector<OpDesc> batch;
+        for (size_t b = 0; b < eligible.size(); ++b) {
+          if (mask & (1u << b)) batch.push_back(eligible[b]);
+        }
+        IConfig next = result[i].clone();
+        if (!spec->invoke_set(*next.state, batch)) continue;
+        for (const OpDesc& od : batch) {
+          next.machine_open.insert(
+              std::upper_bound(next.machine_open.begin(),
+                               next.machine_open.end(), od.id,
+                               [](OpId a, OpId b) {
+                                 return a.packed() < b.packed();
+                               }),
+              od.id);
+        }
+        if (seen.insert(next.key()).second) {
+          if (result.size() >= max_configs) throw CheckerOverflow{};
+          result.push_back(std::move(next));
+        }
+      }
+      // (b) respond any machine-open op lacking an assignment.
+      for (OpId id : result[i].machine_open) {
+        if (result[i].find_assigned(id) != nullptr) continue;
+        const OpDesc* od = find_open(id);
+        if (od == nullptr) continue;  // already history-responded earlier
+        IConfig next = result[i].clone();
+        Value v = spec->respond(*next.state, *od);
+        next.assigned.emplace_back(id, v);
+        std::sort(next.assigned.begin(), next.assigned.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first.packed() < b.first.packed();
+                  });
+        if (seen.insert(next.key()).second) {
+          if (result.size() >= max_configs) throw CheckerOverflow{};
+          result.push_back(std::move(next));
+        }
+      }
+    }
+    return result;
+  }
+
+  void feed(const Event& e) {
+    if (!ok) return;
+    if (e.is_inv()) {
+      history_open.push_back(e.op);
+      return;
+    }
+    std::vector<IConfig> expanded = closure();
+    std::vector<IConfig> filtered;
+    std::unordered_set<std::string> seen;
+    for (IConfig& c : expanded) {
+      const Value* v = c.find_assigned(e.op.id);
+      if (v == nullptr || *v != e.result) continue;
+      // The op leaves the machine and the history bookkeeping.
+      c.assigned.erase(
+          std::find_if(c.assigned.begin(), c.assigned.end(),
+                       [&](const auto& p) { return p.first == e.op.id; }));
+      c.machine_open.erase(
+          std::find_if(c.machine_open.begin(), c.machine_open.end(),
+                       [&](OpId id) { return id == e.op.id; }));
+      if (seen.insert(c.key()).second) filtered.push_back(std::move(c));
+    }
+    for (size_t i = 0; i < history_open.size(); ++i) {
+      if (history_open[i].id == e.op.id) {
+        history_open.erase(history_open.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+    frontier = std::move(filtered);
+    if (frontier.empty()) ok = false;
+  }
+};
+
+IntervalLinMonitor::IntervalLinMonitor(const IntervalSeqSpec& spec,
+                                       size_t max_configs)
+    : impl_(std::make_unique<Impl>(spec, max_configs)) {}
+
+IntervalLinMonitor::IntervalLinMonitor(const IntervalLinMonitor& other)
+    : impl_(std::make_unique<Impl>(*other.impl_)) {}
+
+IntervalLinMonitor::~IntervalLinMonitor() = default;
+
+void IntervalLinMonitor::feed(const Event& e) { impl_->feed(e); }
+bool IntervalLinMonitor::ok() const { return impl_->ok; }
+
+std::unique_ptr<MembershipMonitor> IntervalLinMonitor::clone() const {
+  return std::make_unique<IntervalLinMonitor>(*this);
+}
+
+bool interval_linearizable(const IntervalSeqSpec& spec, const History& h,
+                           size_t max_configs) {
+  IntervalLinMonitor m(spec, max_configs);
+  for (const Event& e : h) {
+    m.feed(e);
+    if (!m.ok()) return false;
+  }
+  return m.ok();
+}
+
+namespace {
+
+class IntervalLinObject final : public GenLinObject {
+ public:
+  IntervalLinObject(std::unique_ptr<IntervalSeqSpec> spec, size_t max_configs)
+      : spec_(std::move(spec)), max_configs_(max_configs) {}
+  const char* name() const override { return spec_->name(); }
+  std::unique_ptr<MembershipMonitor> monitor() const override {
+    return std::make_unique<IntervalLinMonitor>(*spec_, max_configs_);
+  }
+
+ private:
+  std::unique_ptr<IntervalSeqSpec> spec_;
+  size_t max_configs_;
+};
+
+// ---- Write-snapshot as an interval-sequential machine ----------------------
+
+class WsState final : public SeqState {
+ public:
+  std::unique_ptr<SeqState> clone() const override {
+    return std::make_unique<WsState>(*this);
+  }
+  Value step(Method, Value) override { return kError; }  // interval-only
+  std::string encode() const override {
+    std::ostringstream os;
+    os << "W:" << mask_ << ":" << done_;
+    return os.str();
+  }
+
+  uint64_t mask_ = 0;  ///< processes whose write has entered the machine
+  uint64_t done_ = 0;  ///< processes that already responded (one-shot)
+};
+
+class WsIntervalSpec final : public IntervalSeqSpec {
+ public:
+  const char* name() const override { return "write-snapshot-interval"; }
+  std::unique_ptr<SeqState> initial() const override {
+    return std::make_unique<WsState>();
+  }
+
+  bool invoke_set(SeqState& state, std::span<const OpDesc> batch)
+      const override {
+    auto& ws = static_cast<WsState&>(state);
+    for (const OpDesc& od : batch) {
+      if (od.method != Method::kWriteSnap || od.id.pid >= 64) return false;
+      uint64_t bit = 1ULL << od.id.pid;
+      if (ws.mask_ & bit) return false;  // one-shot
+      ws.mask_ |= bit;
+    }
+    return true;
+  }
+
+  Value respond(SeqState& state, const OpDesc& op) const override {
+    auto& ws = static_cast<WsState&>(state);
+    ws.done_ |= 1ULL << op.id.pid;
+    // The snapshot a process returns is the set of writes that have entered
+    // the machine by its response step — self-inclusion holds because its
+    // own write entered at its I-step; comparability holds because masks
+    // only grow.
+    return static_cast<Value>(ws.mask_);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<GenLinObject> make_interval_linearizable_object(
+    std::unique_ptr<IntervalSeqSpec> spec, size_t max_configs) {
+  return std::make_unique<IntervalLinObject>(std::move(spec), max_configs);
+}
+
+std::unique_ptr<IntervalSeqSpec> make_write_snapshot_interval_spec() {
+  return std::make_unique<WsIntervalSpec>();
+}
+
+}  // namespace selin

@@ -1,0 +1,123 @@
+#include "selin/lincheck/setlin_checker.hpp"
+
+#include <unordered_set>
+
+#include "selin/lincheck/checker.hpp"
+#include "selin/lincheck/config.hpp"
+
+namespace selin {
+
+using lincheck::Config;
+
+struct SetLinMonitor::Impl {
+  const SetSeqSpec* spec;
+  size_t max_configs;
+  bool ok = true;
+  std::vector<Config> frontier;
+  std::vector<OpDesc> open;
+
+  Impl(const SetSeqSpec& s, size_t cap) : spec(&s), max_configs(cap) {
+    Config c;
+    c.state = s.initial();
+    frontier.push_back(std::move(c));
+  }
+
+  Impl(const Impl& o)
+      : spec(o.spec), max_configs(o.max_configs), ok(o.ok), open(o.open) {
+    frontier.reserve(o.frontier.size());
+    for (const Config& c : o.frontier) frontier.push_back(c.clone());
+  }
+
+  // Closure under simultaneous linearization of any non-empty batch of open,
+  // not-yet-linearized operations.
+  std::vector<Config> closure() const {
+    std::vector<Config> result;
+    std::unordered_set<std::string> seen;
+    for (const Config& c : frontier) {
+      std::string k = c.key();
+      if (seen.insert(std::move(k)).second) result.push_back(c.clone());
+    }
+    for (size_t i = 0; i < result.size(); ++i) {
+      // Candidate batch members for this configuration.
+      std::vector<OpDesc> cand;
+      for (const OpDesc& od : open) {
+        if (result[i].find(od.id) == nullptr) cand.push_back(od);
+      }
+      if (cand.empty() || cand.size() > 20) {
+        if (cand.size() > 20) throw CheckerOverflow{};
+        continue;
+      }
+      for (uint32_t mask = 1; mask < (1u << cand.size()); ++mask) {
+        std::vector<OpDesc> batch;
+        for (size_t b = 0; b < cand.size(); ++b) {
+          if (mask & (1u << b)) batch.push_back(cand[b]);
+        }
+        Config next = result[i].clone();
+        std::vector<Value> out(batch.size());
+        if (!spec->step_set(*next.state, batch, out)) continue;
+        for (size_t b = 0; b < batch.size(); ++b) {
+          next.add(batch[b].id, out[b]);
+        }
+        std::string k = next.key();
+        if (seen.insert(std::move(k)).second) {
+          if (result.size() >= max_configs) throw CheckerOverflow{};
+          result.push_back(std::move(next));
+        }
+      }
+    }
+    return result;
+  }
+
+  void feed(const Event& e) {
+    if (!ok) return;
+    if (e.is_inv()) {
+      open.push_back(e.op);
+      return;
+    }
+    std::vector<Config> expanded = closure();
+    std::vector<Config> filtered;
+    std::unordered_set<std::string> seen;
+    for (Config& c : expanded) {
+      const lincheck::LinearizedOp* l = c.find(e.op.id);
+      if (l == nullptr || l->assigned != e.result) continue;
+      c.remove(e.op.id);
+      std::string k = c.key();
+      if (seen.insert(std::move(k)).second) filtered.push_back(std::move(c));
+    }
+    for (size_t i = 0; i < open.size(); ++i) {
+      if (open[i].id == e.op.id) {
+        open.erase(open.begin() + i);
+        break;
+      }
+    }
+    frontier = std::move(filtered);
+    if (frontier.empty()) ok = false;
+  }
+};
+
+SetLinMonitor::SetLinMonitor(const SetSeqSpec& spec, size_t max_configs)
+    : impl_(std::make_unique<Impl>(spec, max_configs)) {}
+
+SetLinMonitor::SetLinMonitor(const SetLinMonitor& other)
+    : impl_(std::make_unique<Impl>(*other.impl_)) {}
+
+SetLinMonitor::~SetLinMonitor() = default;
+
+void SetLinMonitor::feed(const Event& e) { impl_->feed(e); }
+bool SetLinMonitor::ok() const { return impl_->ok; }
+
+std::unique_ptr<MembershipMonitor> SetLinMonitor::clone() const {
+  return std::make_unique<SetLinMonitor>(*this);
+}
+
+bool set_linearizable(const SetSeqSpec& spec, const History& h,
+                      size_t max_configs) {
+  SetLinMonitor m(spec, max_configs);
+  for (const Event& e : h) {
+    m.feed(e);
+    if (!m.ok()) return false;
+  }
+  return m.ok();
+}
+
+}  // namespace selin

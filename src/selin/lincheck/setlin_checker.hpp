@@ -1,0 +1,36 @@
+// Set-linearizability membership (Neiger [81]; Section 7.1).
+//
+// Same frontier scheme as LinMonitor, except a closure step linearizes a
+// non-empty *batch* of open operations simultaneously through the
+// set-sequential transition.  Everything the paper proves for GenLin applies
+// unchanged: set-linearizable objects are closed by prefixes and similarity
+// (Section 7.1), so they can be plugged into the verifier as GenLin objects.
+#pragma once
+
+#include <memory>
+
+#include "selin/history/history.hpp"
+#include "selin/spec/spec.hpp"
+
+namespace selin {
+
+class SetLinMonitor final : public MembershipMonitor {
+ public:
+  explicit SetLinMonitor(const SetSeqSpec& spec, size_t max_configs = 1 << 18);
+  SetLinMonitor(const SetLinMonitor& other);
+  ~SetLinMonitor() override;
+
+  void feed(const Event& e) override;
+  bool ok() const override;
+  std::unique_ptr<MembershipMonitor> clone() const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot test: is `h` set-linearizable with respect to `spec`?
+bool set_linearizable(const SetSeqSpec& spec, const History& h,
+                      size_t max_configs = 1 << 18);
+
+}  // namespace selin

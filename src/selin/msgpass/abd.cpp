@@ -1,0 +1,231 @@
+#include "selin/msgpass/abd.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "selin/impls/concurrent.hpp"
+
+namespace selin {
+
+AbdService::AbdService(size_t replicas, uint64_t seed, uint64_t max_delay_us)
+    : max_delay_us_(max_delay_us) {
+  replicas_.reserve(replicas);
+  for (size_t r = 0; r < replicas; ++r) {
+    replicas_.push_back(std::make_unique<Replica>());
+  }
+  for (size_t r = 0; r < replicas; ++r) {
+    replicas_[r]->thread =
+        std::thread([this, r, seed] { replica_loop(r, seed ^ (r * 7919)); });
+  }
+}
+
+AbdService::~AbdService() {
+  for (auto& rep : replicas_) {
+    {
+      std::lock_guard<std::mutex> lock(rep->mu);
+      rep->stop = true;
+    }
+    rep->cv.notify_all();
+  }
+  for (auto& rep : replicas_) rep->thread.join();
+}
+
+void AbdService::crash(size_t r) {
+  Replica& rep = *replicas_[r];
+  {
+    std::lock_guard<std::mutex> lock(rep.mu);
+    rep.crashed = true;
+    rep.inbox.clear();
+  }
+  rep.cv.notify_all();
+}
+
+size_t AbdService::alive() const {
+  size_t n = 0;
+  for (const auto& rep : replicas_) {
+    std::lock_guard<std::mutex> lock(rep->mu);
+    if (!rep->crashed) ++n;
+  }
+  return n;
+}
+
+uint64_t AbdService::messages_processed() const {
+  return processed_.load(std::memory_order_relaxed);
+}
+
+void AbdService::replica_loop(size_t r, uint64_t seed) {
+  Replica& rep = *replicas_[r];
+  Rng rng(seed);
+  for (;;) {
+    Msg m;
+    {
+      std::unique_lock<std::mutex> lock(rep.mu);
+      rep.cv.wait(lock, [&] { return rep.stop || !rep.inbox.empty(); });
+      if (rep.stop) return;
+      if (rep.crashed) {
+        rep.inbox.clear();
+        continue;
+      }
+      m = rep.inbox.front();
+      rep.inbox.pop_front();
+    }
+    // Simulated asynchrony: a random processing delay per message.
+    if (max_delay_us_ > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng.below(max_delay_us_)));
+    }
+    processed_.fetch_add(1, std::memory_order_relaxed);
+    switch (m.type) {
+      case Msg::Type::kGet: {
+        Msg reply = m;
+        reply.type = Msg::Type::kGetReply;
+        reply.replica = r;
+        auto it = rep.store.find(m.key);
+        reply.data = it == rep.store.end() ? Versioned{} : it->second;
+        deliver_reply(reply);
+        break;
+      }
+      case Msg::Type::kPut: {
+        Versioned& cur = rep.store[m.key];
+        if (m.data.ts > cur.ts ||
+            (m.data.ts == cur.ts && m.data.wid > cur.wid)) {
+          cur = m.data;
+        }
+        Msg ack = m;
+        ack.type = Msg::Type::kPutAck;
+        ack.replica = r;
+        deliver_reply(ack);
+        break;
+      }
+      default:
+        break;  // replies are routed to clients, never to replicas
+    }
+  }
+}
+
+void AbdService::post(size_t r, const Msg& m) {
+  Replica& rep = *replicas_[r];
+  {
+    std::lock_guard<std::mutex> lock(rep.mu);
+    if (rep.crashed || rep.stop) return;  // messages to the crashed are lost
+    rep.inbox.push_back(m);
+  }
+  rep.cv.notify_one();
+}
+
+void AbdService::broadcast(const Msg& m) {
+  for (size_t r = 0; r < replicas_.size(); ++r) post(r, m);
+}
+
+uint64_t AbdService::register_rid(std::shared_ptr<Pending> p) {
+  uint64_t rid = next_rid_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_.emplace(rid, std::move(p));
+  return rid;
+}
+
+void AbdService::deliver_reply(const Msg& m) {
+  std::shared_ptr<Pending> p;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    auto it = pending_.find(m.rid);
+    if (it == pending_.end()) return;  // client already satisfied
+    p = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(p->mu);
+    p->replies.push_back(m);
+  }
+  p->cv.notify_all();
+}
+
+std::vector<AbdService::Msg> AbdService::await_quorum(uint64_t rid) {
+  std::shared_ptr<Pending> p;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    p = pending_.at(rid);
+  }
+  std::unique_lock<std::mutex> lock(p->mu);
+  p->cv.wait(lock, [&] { return p->replies.size() >= quorum(); });
+  std::vector<Msg> out = p->replies;
+  lock.unlock();
+  {
+    std::lock_guard<std::mutex> plock(pending_mu_);
+    pending_.erase(rid);
+  }
+  return out;
+}
+
+AbdService::Versioned AbdService::read(uint64_t key) {
+  // Phase 1: GET from a majority; adopt the maximum (ts, wid).
+  auto p1 = std::make_shared<Pending>();
+  Msg get{Msg::Type::kGet, register_rid(p1), key, {}, 0};
+  broadcast(get);
+  std::vector<Msg> replies = await_quorum(get.rid);
+  Versioned best{};
+  for (const Msg& m : replies) {
+    if (m.data.ts > best.ts ||
+        (m.data.ts == best.ts && m.data.wid > best.wid)) {
+      best = m.data;
+    }
+  }
+  // Phase 2: write back to a majority so later reads cannot see older data.
+  auto p2 = std::make_shared<Pending>();
+  Msg put{Msg::Type::kPut, register_rid(p2), key, best, 0};
+  broadcast(put);
+  await_quorum(put.rid);
+  return best;
+}
+
+void AbdService::write(uint64_t key, uint64_t value, uint32_t wid) {
+  // Phase 1: learn the maximum timestamp from a majority.
+  auto p1 = std::make_shared<Pending>();
+  Msg get{Msg::Type::kGet, register_rid(p1), key, {}, 0};
+  broadcast(get);
+  std::vector<Msg> replies = await_quorum(get.rid);
+  uint64_t max_ts = 0;
+  for (const Msg& m : replies) max_ts = std::max(max_ts, m.data.ts);
+  // Phase 2: install (value, max_ts+1, wid) at a majority.
+  auto p2 = std::make_shared<Pending>();
+  Msg put{Msg::Type::kPut, register_rid(p2), key,
+          Versioned{value, max_ts + 1, wid}, 0};
+  broadcast(put);
+  await_quorum(put.rid);
+}
+
+namespace {
+
+class AbdRegister final : public IConcurrent {
+ public:
+  AbdRegister(std::shared_ptr<AbdService> service, uint64_t key, Value initial)
+      : service_(std::move(service)), key_(key) {
+    service_->write(key_, static_cast<uint64_t>(initial), 0);
+  }
+
+  const char* name() const override { return "abd-register"; }
+
+  Value apply(ProcId p, const OpDesc& op) override {
+    switch (op.method) {
+      case Method::kWrite:
+        service_->write(key_, static_cast<uint64_t>(op.arg), p + 1);
+        return kOk;
+      case Method::kRead:
+        return static_cast<Value>(service_->read(key_).value);
+      default:
+        return kError;
+    }
+  }
+
+ private:
+  std::shared_ptr<AbdService> service_;
+  uint64_t key_;
+};
+
+}  // namespace
+
+std::unique_ptr<IConcurrent> make_abd_register(
+    std::shared_ptr<AbdService> service, uint64_t key, Value initial) {
+  return std::make_unique<AbdRegister>(std::move(service), key, initial);
+}
+
+}  // namespace selin

@@ -1,0 +1,206 @@
+// Message-passing substrate (Section 9.4): "Due to the shared memory
+// simulation algorithm in [5] (Attiya, Bar-Noy, Dolev), all our algorithms —
+// A*, V_O, V_{O,A} and D_{O,A} — can be simulated in asynchronous
+// message-passing systems where less than half the processes can crash."
+//
+// This module provides that simulation: a simulated asynchronous network of
+// replica nodes with crash failures, the ABD multi-writer multi-reader
+// atomic register protocol on top (majority quorums, two phases per
+// operation, linearizable), and a Snapshot implementation over ABD registers
+// so the whole selin stack — announcement object N, record object M, hence
+// A* and every verifier — runs on message passing.
+//
+// Replicas are threads with mailboxes and randomized per-message delays
+// (seeded, reproducible).  crash(r) silences a replica permanently; every
+// client operation completes as long as a majority of replicas is alive —
+// the fault-tolerance contract the paper inherits from [5].
+//
+// Payload note: selin snapshot entries are pointers to immutable nodes
+// (Section 9.1 representation).  In a real deployment the nodes themselves
+// would be shipped; the simulation shares one address space, so shipping the
+// pointer preserves exactly the algorithmic content (timestamps, quorums,
+// write-backs) under study.
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "selin/impls/concurrent.hpp"
+#include "selin/snapshot/snapshot.hpp"
+#include "selin/util/rng.hpp"
+#include "selin/util/types.hpp"
+
+namespace selin {
+
+/// The replicated register service: an asynchronous message-passing system
+/// of `replicas` nodes implementing linearizable MWMR registers keyed by
+/// uint64, via the ABD protocol.  Thread-safe for any number of clients.
+class AbdService {
+ public:
+  struct Versioned {
+    uint64_t value = 0;
+    uint64_t ts = 0;    ///< logical timestamp
+    uint32_t wid = 0;   ///< writer id (timestamp tie-break)
+  };
+
+  /// `replicas` must be >= 1; tolerates ceil(replicas/2)-1 crashes.
+  /// `max_delay_us` bounds the simulated per-message processing delay.
+  explicit AbdService(size_t replicas, uint64_t seed = 1,
+                      uint64_t max_delay_us = 20);
+  ~AbdService();
+
+  AbdService(const AbdService&) = delete;
+  AbdService& operator=(const AbdService&) = delete;
+
+  /// Crash replica r: it stops processing messages forever.  Crashing a
+  /// majority makes subsequent operations block (as it must — ABD requires
+  /// a live majority); the caller is responsible for staying a minority.
+  void crash(size_t r);
+
+  size_t replicas() const { return replicas_.size(); }
+  size_t quorum() const { return replicas_.size() / 2 + 1; }
+  size_t alive() const;
+
+  /// Linearizable read: GET phase to a majority, then write-back (PUT) of
+  /// the maximum timestamp to a majority.
+  Versioned read(uint64_t key);
+
+  /// Linearizable write: GET-timestamp phase, then PUT of (max_ts+1, wid).
+  void write(uint64_t key, uint64_t value, uint32_t wid);
+
+  /// Total messages processed (diagnostics / benches).
+  uint64_t messages_processed() const;
+
+ private:
+  struct Msg {
+    enum class Type : uint8_t { kGet, kPut, kGetReply, kPutAck };
+    Type type;
+    uint64_t rid;
+    uint64_t key;
+    Versioned data;
+    size_t replica;  // sender replica (for replies)
+  };
+
+  struct Replica {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Msg> inbox;
+    bool crashed = false;
+    bool stop = false;
+    std::unordered_map<uint64_t, Versioned> store;
+    std::thread thread;
+  };
+
+  struct Pending {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Msg> replies;
+  };
+
+  void replica_loop(size_t r, uint64_t seed);
+  void post(size_t r, const Msg& m);
+  void broadcast(const Msg& m);
+  /// Blocks until `quorum()` replies for rid are available; returns them.
+  std::vector<Msg> await_quorum(uint64_t rid);
+  uint64_t register_rid(std::shared_ptr<Pending> p);
+  void deliver_reply(const Msg& m);
+
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  uint64_t max_delay_us_;
+
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending_;
+  std::atomic<uint64_t> next_rid_{1};
+  std::atomic<uint64_t> processed_{0};
+};
+
+/// Snapshot over ABD registers: entry i is the ABD register with key i; a
+/// scan double-collects (value, ts) vectors until two consecutive collects
+/// agree on all timestamps — linearizable by the standard double-collect
+/// argument over linearizable base registers.  Lock-free (scans can be
+/// starved by writers), matching DoubleCollectSnapshot's contract but with
+/// every base step a quorum round-trip.
+template <typename T>
+class AbdSnapshot final : public Snapshot<T> {
+  static_assert(sizeof(T) <= sizeof(uint64_t) &&
+                    std::is_trivially_copyable_v<T>,
+                "AbdSnapshot payloads must fit a register word");
+
+ public:
+  /// Shares (does not own) the replica service, so several snapshot objects
+  /// (announcements N, records M) can ride one replicated system.
+  AbdSnapshot(std::shared_ptr<AbdService> service, size_t n, T initial,
+              uint64_t key_base = 0)
+      : service_(std::move(service)), n_(n), key_base_(key_base) {
+    for (size_t i = 0; i < n_; ++i) {
+      service_->write(key_base_ + i, encode(initial), /*wid=*/0);
+    }
+  }
+
+  void write(ProcId i, T v) override {
+    StepCounter::bump();
+    service_->write(key_base_ + i, encode(v), i + 1);
+  }
+
+  std::vector<T> scan(ProcId /*i*/) override {
+    const size_t n = n_;
+    std::vector<AbdService::Versioned> a(n), b(n);
+    collect(a);
+    for (;;) {
+      collect(b);
+      bool clean = true;
+      for (size_t k = 0; k < n; ++k) {
+        if (a[k].ts != b[k].ts || a[k].wid != b[k].wid) {
+          clean = false;
+          break;
+        }
+      }
+      if (clean) {
+        std::vector<T> out(n);
+        for (size_t k = 0; k < n; ++k) out[k] = decode(b[k].value);
+        return out;
+      }
+      a.swap(b);
+    }
+  }
+
+  size_t size() const override { return n_; }
+  const char* name() const override { return "abd"; }
+
+ private:
+  static uint64_t encode(T v) {
+    uint64_t out = 0;
+    std::memcpy(&out, &v, sizeof(T));
+    return out;
+  }
+  static T decode(uint64_t raw) {
+    T out{};
+    std::memcpy(&out, &raw, sizeof(T));
+    return out;
+  }
+
+  void collect(std::vector<AbdService::Versioned>& out) {
+    for (size_t k = 0; k < n_; ++k) {
+      StepCounter::bump();
+      out[k] = service_->read(key_base_ + k);
+    }
+  }
+
+  std::shared_ptr<AbdService> service_;
+  size_t n_;
+  uint64_t key_base_;
+};
+
+/// A *distributed* register implementation (an A living on message passing):
+/// Read/Write through the ABD service.  Linearizable, majority-resilient.
+std::unique_ptr<IConcurrent> make_abd_register(
+    std::shared_ptr<AbdService> service, uint64_t key = 1'000'000,
+    Value initial = 0);
+
+}  // namespace selin

@@ -1,0 +1,116 @@
+#include "selin/sim/impossibility.hpp"
+
+#include <algorithm>
+
+namespace selin {
+
+History actual_history(const VerifierExecution& exec) {
+  History h;
+  for (const VerifierEvent& e : exec) {
+    if (e.kind == VerifierEvent::Kind::kInvoke) {
+      h.push_back(Event::inv(e.op));
+    } else if (e.kind == VerifierEvent::Kind::kRespond) {
+      h.push_back(Event::res(e.op, e.y));
+    }
+  }
+  return h;
+}
+
+History detected_history(const VerifierExecution& exec) {
+  History h;
+  for (const VerifierEvent& e : exec) {
+    if (e.kind == VerifierEvent::Kind::kAnnounce) {
+      h.push_back(Event::inv(e.op));
+    } else if (e.kind == VerifierEvent::Kind::kRecord) {
+      h.push_back(Event::res(e.op, e.y));
+    }
+  }
+  return h;
+}
+
+std::vector<VerifierEvent> local_view(const VerifierExecution& exec,
+                                      ProcId p) {
+  std::vector<VerifierEvent> out;
+  for (const VerifierEvent& e : exec) {
+    if (e.op.id.pid == p) out.push_back(e);
+  }
+  return out;
+}
+
+bool indistinguishable(const VerifierExecution& a,
+                       const VerifierExecution& b) {
+  ProcId max_pid = 0;
+  for (const VerifierEvent& e : a) max_pid = std::max(max_pid, e.op.id.pid);
+  for (const VerifierEvent& e : b) max_pid = std::max(max_pid, e.op.id.pid);
+  for (ProcId p = 0; p <= max_pid; ++p) {
+    auto va = local_view(a, p);
+    auto vb = local_view(b, p);
+    if (va.size() != vb.size()) return false;
+    for (size_t i = 0; i < va.size(); ++i) {
+      if (va[i].kind != vb[i].kind || !(va[i].op == vb[i].op) ||
+          va[i].y != vb[i].y) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+using K = VerifierEvent::Kind;
+
+void push_op(VerifierExecution& out, const OpDesc& op, Value y) {
+  out.push_back({K::kAnnounce, op, kNoArg});
+  out.push_back({K::kInvoke, op, kNoArg});
+  out.push_back({K::kRespond, op, y});
+  out.push_back({K::kRecord, op, y});
+}
+
+}  // namespace
+
+Thm51Scenario build_thm51_scenario(size_t extra_rounds) {
+  // A is the adversarial queue of the proof: Enqueue -> true, Dequeue ->
+  // empty, except p2's (pid 1) first Dequeue which returns 1.
+  Thm51Scenario s;
+
+  OpDesc enq{OpId{0, 0}, Method::kEnqueue, 1};
+  OpDesc deq{OpId{1, 0}, Method::kDequeue, kNoArg};
+
+  // Execution E (steps 1-6 of the proof):
+  //   p2 announces deq; p1 announces enq;
+  //   p2 invokes and responds (deq -> 1); p1 invokes and responds (enq);
+  //   p2 records; p1 records.
+  s.exec_E.push_back({K::kAnnounce, deq, kNoArg});
+  s.exec_E.push_back({K::kAnnounce, enq, kNoArg});
+  s.exec_E.push_back({K::kInvoke, deq, kNoArg});
+  s.exec_E.push_back({K::kRespond, deq, 1});
+  s.exec_E.push_back({K::kInvoke, enq, kNoArg});
+  s.exec_E.push_back({K::kRespond, enq, kTrue});
+  s.exec_E.push_back({K::kRecord, deq, 1});
+  s.exec_E.push_back({K::kRecord, enq, kTrue});
+
+  // Execution F: identical except steps 3 and 4 are swapped — p1's enqueue
+  // takes effect first, so deq() -> 1 is legitimate.
+  s.exec_F.push_back({K::kAnnounce, deq, kNoArg});
+  s.exec_F.push_back({K::kAnnounce, enq, kNoArg});
+  s.exec_F.push_back({K::kInvoke, enq, kNoArg});
+  s.exec_F.push_back({K::kRespond, enq, kTrue});
+  s.exec_F.push_back({K::kInvoke, deq, kNoArg});
+  s.exec_F.push_back({K::kRespond, deq, 1});
+  s.exec_F.push_back({K::kRecord, deq, 1});
+  s.exec_F.push_back({K::kRecord, enq, kTrue});
+
+  // Step 7: both executions continue with alternating Dequeue() -> empty.
+  for (size_t k = 0; k < extra_rounds; ++k) {
+    for (ProcId p = 0; p < 2; ++p) {
+      OpDesc d{OpId{p, static_cast<uint32_t>(k) + 1}, Method::kDequeue,
+               kNoArg};
+      push_op(s.exec_E, d, kEmpty);
+      push_op(s.exec_F, d, kEmpty);
+    }
+  }
+  return s;
+}
+
+}  // namespace selin

@@ -1,0 +1,64 @@
+// Executable rendition of the Theorem 5.1 impossibility argument (Figure 4).
+//
+// The generic verifier of Figure 2 performs, per operation: an *announce*
+// (Line 05, encode the upcoming invocation in M), the *invocation* of A
+// (Line 06), the *response* from A (Line 07), and a *record* (Line 08,
+// encode the response in M).  Because the system is asynchronous, the only
+// information any process can extract from M is the order of announce/record
+// events — the "detected" history — while the actual history of A is defined
+// by the order of the invocation/response events, which are local and
+// unobservable.
+//
+// build_thm51_scenario() constructs the two executions E and F of the proof:
+// they have *identical* detected histories and identical per-process local
+// event sequences (so every verifier behaves identically in both), yet the
+// actual history of A is non-linearizable in E and linearizable in F.  The
+// impossibility test then confirms all three facts mechanically.
+#pragma once
+
+#include <vector>
+
+#include "selin/history/history.hpp"
+
+namespace selin {
+
+/// One step of the generic verifier's interaction (Figure 2).
+struct VerifierEvent {
+  enum class Kind : uint8_t {
+    kAnnounce,  ///< Line 05: encode upcoming invocation in M
+    kInvoke,    ///< Line 06: local invocation of A
+    kRespond,   ///< Line 07: local response from A
+    kRecord,    ///< Line 08: encode response in M
+  };
+  Kind kind;
+  OpDesc op;
+  Value y = kNoArg;  ///< meaningful for kRespond/kRecord
+};
+
+using VerifierExecution = std::vector<VerifierEvent>;
+
+/// The actual history of A: invocation at kInvoke, response at kRespond.
+History actual_history(const VerifierExecution& exec);
+
+/// The history detectable through M: invocation at kAnnounce, response at
+/// kRecord — operations "stretched" exactly as in Figure 5.
+History detected_history(const VerifierExecution& exec);
+
+/// The local event sequence of process p (what p can observe of itself).
+std::vector<VerifierEvent> local_view(const VerifierExecution& exec, ProcId p);
+
+struct Thm51Scenario {
+  VerifierExecution exec_E;  ///< actual history non-linearizable
+  VerifierExecution exec_F;  ///< actual history linearizable
+};
+
+/// The executions E and F of the Theorem 5.1 proof for the queue, padded
+/// with `extra_rounds` of the infinite Dequeue()->empty tail (step 7 of the
+/// proof construction).
+Thm51Scenario build_thm51_scenario(size_t extra_rounds = 2);
+
+/// True iff the two executions are indistinguishable to every process:
+/// identical local event sequences (kind, op, response value).
+bool indistinguishable(const VerifierExecution& a, const VerifierExecution& b);
+
+}  // namespace selin

@@ -1,0 +1,2 @@
+// recorder.hpp is header-only; this TU provides its compile check.
+#include "selin/sim/recorder.hpp"

@@ -1,0 +1,93 @@
+// Ground-truth instrumentation (test/bench infrastructure only).
+//
+// The whole point of Theorem 5.1 is that the *algorithms* cannot observe the
+// real-time order of invocations and responses.  The test-suite, however,
+// must: soundness tests need the actual history of A to confirm it was
+// correct, completeness tests need it to confirm it was not.  The recorder
+// stamps events with a global atomic counter and reassembles the actual
+// history afterwards — instrumentation the verifier never sees, mirroring
+// the paper's distinction between the execution and the processes' views.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "selin/core/astar.hpp"
+#include "selin/history/tight.hpp"
+#include "selin/impls/concurrent.hpp"
+
+namespace selin {
+
+/// Wraps an IConcurrent, recording the real-time history of its operations.
+/// Recording is lock-free: events are claimed with one fetch_add into a
+/// pre-sized slab.
+class RecordingConcurrent final : public IConcurrent {
+ public:
+  /// `capacity` bounds the number of recorded events (2 per operation).
+  RecordingConcurrent(IConcurrent& inner, size_t capacity)
+      : inner_(&inner), slots_(capacity) {}
+
+  const char* name() const override { return inner_->name(); }
+
+  Value apply(ProcId p, const OpDesc& op) override {
+    append(Event::inv(op));
+    Value y = inner_->apply(p, op);
+    append(Event::res(op, y));
+    return y;
+  }
+
+  /// The actual history of A recorded so far.  Call only while no apply() is
+  /// in flight (e.g. after joining worker threads).
+  History history() const {
+    size_t n = next_.load(std::memory_order_acquire);
+    if (n > slots_.size()) n = slots_.size();
+    return History(slots_.begin(), slots_.begin() + static_cast<long>(n));
+  }
+
+  bool overflowed() const {
+    return next_.load(std::memory_order_relaxed) > slots_.size();
+  }
+
+ private:
+  void append(const Event& e) {
+    size_t i = next_.fetch_add(1, std::memory_order_acq_rel);
+    if (i < slots_.size()) slots_[i] = e;
+  }
+
+  IConcurrent* inner_;
+  std::vector<Event> slots_;
+  std::atomic<size_t> next_{0};
+};
+
+/// Records the Write/Snapshot marks of an AStar (Definition 7.5 structure) so
+/// tests can build T(E) of the actual execution and validate Lemmas 7.3/7.4.
+class TraceRecorder final : public AStarTraceSink {
+ public:
+  explicit TraceRecorder(size_t capacity) : slots_(capacity) {}
+
+  void on_write(const OpDesc& op) override {
+    append(AStarMark{AStarMark::Kind::kWrite, op, kNoArg});
+  }
+  void on_snap(const OpDesc& op, Value y) override {
+    append(AStarMark{AStarMark::Kind::kSnap, op, y});
+  }
+
+  /// Call only when no apply() is in flight.
+  AStarTrace trace() const {
+    size_t n = next_.load(std::memory_order_acquire);
+    if (n > slots_.size()) n = slots_.size();
+    return AStarTrace(slots_.begin(), slots_.begin() + static_cast<long>(n));
+  }
+
+ private:
+  void append(const AStarMark& m) {
+    size_t i = next_.fetch_add(1, std::memory_order_acq_rel);
+    if (i < slots_.size()) slots_[i] = m;
+  }
+
+  std::vector<AStarMark> slots_;
+  std::atomic<size_t> next_{0};
+};
+
+}  // namespace selin

@@ -1,0 +1,74 @@
+#include "selin/sim/workload.hpp"
+
+namespace selin {
+
+const char* object_kind_name(ObjectKind k) {
+  switch (k) {
+    case ObjectKind::kQueue: return "queue";
+    case ObjectKind::kStack: return "stack";
+    case ObjectKind::kSet: return "set";
+    case ObjectKind::kPqueue: return "pqueue";
+    case ObjectKind::kCounter: return "counter";
+    case ObjectKind::kRegister: return "register";
+    case ObjectKind::kConsensus: return "consensus";
+  }
+  return "?";
+}
+
+std::pair<Method, Value> random_op(ObjectKind kind, Rng& rng) {
+  switch (kind) {
+    case ObjectKind::kQueue:
+      if (rng.chance(1, 2)) return {Method::kEnqueue, rng.range(1, 1'000'000)};
+      return {Method::kDequeue, kNoArg};
+    case ObjectKind::kStack:
+      if (rng.chance(1, 2)) return {Method::kPush, rng.range(1, 1'000'000)};
+      return {Method::kPop, kNoArg};
+    case ObjectKind::kSet: {
+      uint64_t r = rng.below(3);
+      Value v = rng.range(1, 16);  // small domain: collisions matter
+      if (r == 0) return {Method::kInsert, v};
+      if (r == 1) return {Method::kRemove, v};
+      return {Method::kContains, v};
+    }
+    case ObjectKind::kPqueue:
+      if (rng.chance(1, 2)) return {Method::kPqInsert, rng.range(1, 1000)};
+      return {Method::kPqExtractMin, kNoArg};
+    case ObjectKind::kCounter:
+      if (rng.chance(2, 3)) return {Method::kInc, kNoArg};
+      return {Method::kCounterRead, kNoArg};
+    case ObjectKind::kRegister:
+      if (rng.chance(1, 2)) return {Method::kWrite, rng.range(1, 64)};
+      return {Method::kRead, kNoArg};
+    case ObjectKind::kConsensus:
+      return {Method::kDecide, rng.range(1, 1'000'000)};
+  }
+  return {Method::kRead, kNoArg};
+}
+
+std::unique_ptr<SeqSpec> make_spec(ObjectKind kind) {
+  switch (kind) {
+    case ObjectKind::kQueue: return make_queue_spec();
+    case ObjectKind::kStack: return make_stack_spec();
+    case ObjectKind::kSet: return make_set_spec();
+    case ObjectKind::kPqueue: return make_pqueue_spec();
+    case ObjectKind::kCounter: return make_counter_spec();
+    case ObjectKind::kRegister: return make_register_spec();
+    case ObjectKind::kConsensus: return make_consensus_spec();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<IConcurrent> make_correct_impl(ObjectKind kind) {
+  switch (kind) {
+    case ObjectKind::kQueue: return make_ms_queue();
+    case ObjectKind::kStack: return make_treiber_stack();
+    case ObjectKind::kSet: return make_universal(make_set_spec());
+    case ObjectKind::kPqueue: return make_universal(make_pqueue_spec());
+    case ObjectKind::kCounter: return make_atomic_counter();
+    case ObjectKind::kRegister: return make_cas_register();
+    case ObjectKind::kConsensus: return make_cas_consensus();
+  }
+  return nullptr;
+}
+
+}  // namespace selin

@@ -1,0 +1,39 @@
+// Workload generation: the "non-deterministically chosen operation" of
+// Figure 2 Line 03 / Figure 10 Line 03, drawn from a seeded RNG so every
+// test and benchmark is reproducible.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "selin/impls/concurrent.hpp"
+#include "selin/spec/spec.hpp"
+#include "selin/util/rng.hpp"
+
+namespace selin {
+
+/// The sequential-object families of Theorem 5.1.
+enum class ObjectKind {
+  kQueue,
+  kStack,
+  kSet,
+  kPqueue,
+  kCounter,
+  kRegister,
+  kConsensus,
+};
+
+const char* object_kind_name(ObjectKind k);
+
+/// A random operation appropriate for the object family.  Mutator/observer
+/// mix is roughly balanced; arguments are small so observers exercise
+/// interesting state.
+std::pair<Method, Value> random_op(ObjectKind kind, Rng& rng);
+
+/// The sequential specification of the family.
+std::unique_ptr<SeqSpec> make_spec(ObjectKind kind);
+
+/// A correct lock-free implementation of the family.
+std::unique_ptr<IConcurrent> make_correct_impl(ObjectKind kind);
+
+}  // namespace selin

@@ -1,0 +1,8 @@
+#include "selin/snapshot/snapshot.hpp"
+
+namespace selin {
+
+template class AfekSnapshot<const void*>;
+template class AfekSnapshot<uint64_t>;
+
+}  // namespace selin

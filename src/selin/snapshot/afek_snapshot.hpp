@@ -1,0 +1,102 @@
+// Wait-free atomic snapshot of Afek, Attiya, Dolev, Gafni, Merritt and
+// Shavit [1] — the implementation the paper's Lines 02/05 (Figure 7) and
+// Lines 07/08 (Figure 10) assume: linearizable, wait-free, built from
+// single-writer read/write registers only (consensus number 1).
+//
+// Each register holds (value, seq, embedded scan).  A Write first performs an
+// embedded Scan, then publishes (v, seq+1, scan).  A Scan repeatedly double
+// collects; a clean double collect is returned directly, and otherwise some
+// writer moved — after a writer is seen to move *twice* during one Scan, its
+// embedded scan is entirely contained in the Scan's interval and is borrowed.
+// At most n+1 double collects, hence O(n^2) reads per Scan and per Write.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "selin/util/arena.hpp"
+#include "selin/util/step_counter.hpp"
+#include "selin/util/types.hpp"
+
+namespace selin {
+
+template <typename T>
+class Snapshot;
+
+template <typename T>
+class AfekSnapshot final : public Snapshot<T> {
+ public:
+  AfekSnapshot(size_t n, T initial) : entries_(n) {
+    // The initial embedded scan is the all-initial vector.
+    std::vector<T> init(n, initial);
+    const T* vec = arena_.copy_range(init.data(), n);
+    for (auto& e : entries_) {
+      e.cell.store(arena_.create<Cell>(Cell{initial, 0, vec}),
+                   std::memory_order_relaxed);
+    }
+  }
+
+  void write(ProcId i, T v) override {
+    std::vector<T> embedded = scan(i);
+    Cell* old = entries_[i].cell.load(std::memory_order_relaxed);
+    Cell* neu = arena_.create<Cell>(
+        Cell{v, old->seq + 1, arena_.copy_range(embedded.data(),
+                                                embedded.size())});
+    StepCounter::bump();
+    entries_[i].cell.store(neu, std::memory_order_release);
+  }
+
+  std::vector<T> scan(ProcId /*i*/) override {
+    const size_t n = entries_.size();
+    std::vector<const Cell*> a(n), b(n);
+    std::vector<uint8_t> moved(n, 0);
+    collect(a);
+    for (;;) {
+      collect(b);
+      bool clean = true;
+      for (size_t k = 0; k < n; ++k) {
+        if (a[k]->seq != b[k]->seq) {
+          clean = false;
+          if (moved[k]) {
+            // k moved twice within this scan: its embedded scan was taken
+            // entirely inside our interval; borrow it.
+            std::vector<T> out(b[k]->embedded, b[k]->embedded + n);
+            return out;
+          }
+          moved[k] = 1;
+        }
+      }
+      if (clean) {
+        std::vector<T> out(n);
+        for (size_t k = 0; k < n; ++k) out[k] = b[k]->value;
+        return out;
+      }
+      a.swap(b);
+    }
+  }
+
+  size_t size() const override { return entries_.size(); }
+  const char* name() const override { return "afek"; }
+
+ private:
+  struct Cell {
+    T value;
+    uint64_t seq;
+    const T* embedded;  // arena-owned array of size n
+  };
+  struct alignas(64) Entry {
+    std::atomic<Cell*> cell{nullptr};
+  };
+
+  void collect(std::vector<const Cell*>& out) {
+    for (size_t k = 0; k < entries_.size(); ++k) {
+      StepCounter::bump();
+      out[k] = entries_[k].cell.load(std::memory_order_acquire);
+    }
+  }
+
+  Arena arena_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace selin

@@ -1,0 +1,8 @@
+#include "selin/snapshot/snapshot.hpp"
+
+namespace selin {
+
+template class DoubleCollectSnapshot<const void*>;
+template class DoubleCollectSnapshot<uint64_t>;
+
+}  // namespace selin

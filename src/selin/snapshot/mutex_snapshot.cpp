@@ -1,0 +1,18 @@
+#include "selin/snapshot/snapshot.hpp"
+
+namespace selin {
+
+const char* snapshot_kind_name(SnapshotKind k) {
+  switch (k) {
+    case SnapshotKind::kMutex: return "mutex";
+    case SnapshotKind::kDoubleCollect: return "double-collect";
+    case SnapshotKind::kAfek: return "afek";
+  }
+  return "?";
+}
+
+// Compile-check the template for the pointer payloads used across selin.
+template class MutexSnapshot<const void*>;
+template class MutexSnapshot<uint64_t>;
+
+}  // namespace selin

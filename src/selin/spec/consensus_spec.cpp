@@ -1,0 +1,51 @@
+// Consensus as a sequential object, exactly as in the proof of Theorem 5.1:
+// "a single Decide operation that can be invoked several times, and the first
+// operation among all processes sets its input as the decision".
+// Decide(v) -> the decision value.
+#include <optional>
+#include <sstream>
+
+#include "selin/spec/spec.hpp"
+
+namespace selin {
+namespace {
+
+class ConsensusState final : public SeqState {
+ public:
+  std::unique_ptr<SeqState> clone() const override {
+    return std::make_unique<ConsensusState>(*this);
+  }
+
+  Value step(Method m, Value arg) override {
+    if (m != Method::kDecide) return kError;
+    if (!decision_.has_value()) decision_ = arg;
+    return *decision_;
+  }
+
+  std::string encode() const override {
+    std::ostringstream os;
+    os << "D:";
+    if (decision_.has_value()) os << *decision_;
+    else os << "?";
+    return os.str();
+  }
+
+ private:
+  std::optional<Value> decision_;
+};
+
+class ConsensusSpec final : public SeqSpec {
+ public:
+  const char* name() const override { return "consensus"; }
+  std::unique_ptr<SeqState> initial() const override {
+    return std::make_unique<ConsensusState>();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SeqSpec> make_consensus_spec() {
+  return std::make_unique<ConsensusSpec>();
+}
+
+}  // namespace selin

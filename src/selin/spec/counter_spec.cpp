@@ -1,0 +1,53 @@
+// Counter sequential specification (Theorem 5.1 object).
+// Inc() -> the new counter value; CounterRead() -> current value.
+// Inc returning the new value makes lost increments *observable* in a single
+// operation's response, which the completeness tests rely on.
+#include <sstream>
+
+#include "selin/spec/spec.hpp"
+
+namespace selin {
+namespace {
+
+class CounterState final : public SeqState {
+ public:
+  std::unique_ptr<SeqState> clone() const override {
+    return std::make_unique<CounterState>(*this);
+  }
+
+  Value step(Method m, Value /*arg*/) override {
+    switch (m) {
+      case Method::kInc:
+        return ++value_;
+      case Method::kCounterRead:
+        return value_;
+      default:
+        return kError;
+    }
+  }
+
+  std::string encode() const override {
+    std::ostringstream os;
+    os << "C:" << value_;
+    return os.str();
+  }
+
+ private:
+  Value value_ = 0;
+};
+
+class CounterSpec final : public SeqSpec {
+ public:
+  const char* name() const override { return "counter"; }
+  std::unique_ptr<SeqState> initial() const override {
+    return std::make_unique<CounterState>();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SeqSpec> make_counter_spec() {
+  return std::make_unique<CounterSpec>();
+}
+
+}  // namespace selin

@@ -1,0 +1,57 @@
+// Exchanger: the classic *set-sequential* object (set-linearizability,
+// Neiger [81]; Section 7.1 of the paper).  Two Exchange operations that are
+// set-linearized in the same concurrency class swap their arguments; an
+// Exchange that is set-linearized alone returns `empty` (no partner).
+//
+// No sequential specification captures this object (a solo exchange can
+// never return a partner value), so it exercises GenLin strictly beyond
+// linearizability.
+#include <sstream>
+
+#include "selin/spec/spec.hpp"
+
+namespace selin {
+namespace {
+
+/// The exchanger is stateless between concurrency classes.
+class ExchangerState final : public SeqState {
+ public:
+  std::unique_ptr<SeqState> clone() const override {
+    return std::make_unique<ExchangerState>(*this);
+  }
+  Value step(Method, Value) override { return kError; }  // set-seq only
+  std::string encode() const override { return "X"; }
+};
+
+class ExchangerSpec final : public SetSeqSpec {
+ public:
+  const char* name() const override { return "exchanger"; }
+  std::unique_ptr<SeqState> initial() const override {
+    return std::make_unique<ExchangerState>();
+  }
+
+  bool step_set(SeqState& /*state*/, std::span<const OpDesc> batch,
+                std::span<Value> out) const override {
+    for (const OpDesc& op : batch) {
+      if (op.method != Method::kExchange) return false;
+    }
+    if (batch.size() == 1) {
+      out[0] = kEmpty;
+      return true;
+    }
+    if (batch.size() == 2) {
+      out[0] = batch[1].arg;
+      out[1] = batch[0].arg;
+      return true;
+    }
+    return false;  // the exchanger pairs exactly two operations
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SetSeqSpec> make_exchanger_spec() {
+  return std::make_unique<ExchangerSpec>();
+}
+
+}  // namespace selin

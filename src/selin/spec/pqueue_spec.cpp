@@ -1,0 +1,59 @@
+// Min priority queue sequential specification (Theorem 5.1 object).
+// PqInsert(v) -> true; PqExtractMin() -> smallest value, or `empty`.
+#include <set>
+#include <sstream>
+
+#include "selin/spec/spec.hpp"
+
+namespace selin {
+namespace {
+
+class PqState final : public SeqState {
+ public:
+  std::unique_ptr<SeqState> clone() const override {
+    return std::make_unique<PqState>(*this);
+  }
+
+  Value step(Method m, Value arg) override {
+    switch (m) {
+      case Method::kPqInsert:
+        items_.insert(arg);
+        return kTrue;
+      case Method::kPqExtractMin: {
+        if (items_.empty()) return kEmpty;
+        auto it = items_.begin();
+        Value v = *it;
+        items_.erase(it);
+        return v;
+      }
+      default:
+        return kError;
+    }
+  }
+
+  std::string encode() const override {
+    std::ostringstream os;
+    os << "P";
+    for (Value v : items_) os << ":" << v;
+    return os.str();
+  }
+
+ private:
+  std::multiset<Value> items_;
+};
+
+class PqSpec final : public SeqSpec {
+ public:
+  const char* name() const override { return "pqueue"; }
+  std::unique_ptr<SeqState> initial() const override {
+    return std::make_unique<PqState>();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SeqSpec> make_pqueue_spec() {
+  return std::make_unique<PqSpec>();
+}
+
+}  // namespace selin

@@ -1,0 +1,58 @@
+// FIFO queue sequential specification (Figure 4 and Theorem 5.1 object).
+// Enqueue(v) -> true; Dequeue() -> head value, or `empty`.
+#include <deque>
+#include <sstream>
+
+#include "selin/spec/spec.hpp"
+
+namespace selin {
+namespace {
+
+class QueueState final : public SeqState {
+ public:
+  std::unique_ptr<SeqState> clone() const override {
+    return std::make_unique<QueueState>(*this);
+  }
+
+  Value step(Method m, Value arg) override {
+    switch (m) {
+      case Method::kEnqueue:
+        items_.push_back(arg);
+        return kTrue;
+      case Method::kDequeue: {
+        if (items_.empty()) return kEmpty;
+        Value v = items_.front();
+        items_.pop_front();
+        return v;
+      }
+      default:
+        return kError;  // foreign method: never matches an observed response
+    }
+  }
+
+  std::string encode() const override {
+    std::ostringstream os;
+    os << "Q";
+    for (Value v : items_) os << ":" << v;
+    return os.str();
+  }
+
+ private:
+  std::deque<Value> items_;
+};
+
+class QueueSpec final : public SeqSpec {
+ public:
+  const char* name() const override { return "queue"; }
+  std::unique_ptr<SeqState> initial() const override {
+    return std::make_unique<QueueState>();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SeqSpec> make_queue_spec() {
+  return std::make_unique<QueueSpec>();
+}
+
+}  // namespace selin

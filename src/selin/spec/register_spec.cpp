@@ -1,0 +1,58 @@
+// Read/write register sequential specification.
+// Write(v) -> ok; Read() -> last written value (or the initial value).
+#include <sstream>
+
+#include "selin/spec/spec.hpp"
+
+namespace selin {
+namespace {
+
+class RegisterState final : public SeqState {
+ public:
+  explicit RegisterState(Value initial) : value_(initial) {}
+
+  std::unique_ptr<SeqState> clone() const override {
+    return std::make_unique<RegisterState>(*this);
+  }
+
+  Value step(Method m, Value arg) override {
+    switch (m) {
+      case Method::kWrite:
+        value_ = arg;
+        return kOk;
+      case Method::kRead:
+        return value_;
+      default:
+        return kError;
+    }
+  }
+
+  std::string encode() const override {
+    std::ostringstream os;
+    os << "R:" << value_;
+    return os.str();
+  }
+
+ private:
+  Value value_;
+};
+
+class RegisterSpec final : public SeqSpec {
+ public:
+  explicit RegisterSpec(Value initial) : initial_(initial) {}
+  const char* name() const override { return "register"; }
+  std::unique_ptr<SeqState> initial() const override {
+    return std::make_unique<RegisterState>(initial_);
+  }
+
+ private:
+  Value initial_;
+};
+
+}  // namespace
+
+std::unique_ptr<SeqSpec> make_register_spec(Value initial) {
+  return std::make_unique<RegisterSpec>(initial);
+}
+
+}  // namespace selin

@@ -1,0 +1,54 @@
+// Integer set sequential specification (Theorem 5.1 object).
+// Insert(v) -> true iff v was absent; Remove(v) -> true iff v was present;
+// Contains(v) -> membership.
+#include <set>
+#include <sstream>
+
+#include "selin/spec/spec.hpp"
+
+namespace selin {
+namespace {
+
+class SetState final : public SeqState {
+ public:
+  std::unique_ptr<SeqState> clone() const override {
+    return std::make_unique<SetState>(*this);
+  }
+
+  Value step(Method m, Value arg) override {
+    switch (m) {
+      case Method::kInsert:
+        return items_.insert(arg).second ? kTrue : kFalse;
+      case Method::kRemove:
+        return items_.erase(arg) != 0 ? kTrue : kFalse;
+      case Method::kContains:
+        return items_.count(arg) != 0 ? kTrue : kFalse;
+      default:
+        return kError;
+    }
+  }
+
+  std::string encode() const override {
+    std::ostringstream os;
+    os << "T";
+    for (Value v : items_) os << ":" << v;
+    return os.str();
+  }
+
+ private:
+  std::set<Value> items_;
+};
+
+class SetSpec final : public SeqSpec {
+ public:
+  const char* name() const override { return "set"; }
+  std::unique_ptr<SeqState> initial() const override {
+    return std::make_unique<SetState>();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SeqSpec> make_set_spec() { return std::make_unique<SetSpec>(); }
+
+}  // namespace selin

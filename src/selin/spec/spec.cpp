@@ -1,0 +1,26 @@
+#include "selin/spec/spec.hpp"
+
+namespace selin {
+
+bool GenLinObject::contains(const History& h) const {
+  auto m = monitor();
+  for (const Event& e : h) {
+    m->feed(e);
+    if (!m->ok()) return false;
+  }
+  return m->ok();
+}
+
+bool seq_history_valid(const SeqSpec& spec, const History& sequential) {
+  if (!selin::sequential(sequential)) return false;
+  auto state = spec.initial();
+  for (size_t i = 0; i + 1 < sequential.size(); i += 2) {
+    const Event& inv = sequential[i];
+    const Event& res = sequential[i + 1];
+    Value got = state->step(inv.op.method, inv.op.arg);
+    if (got != res.result) return false;
+  }
+  return true;
+}
+
+}  // namespace selin

@@ -1,0 +1,107 @@
+// Sequential specifications (Definition 4.1) and abstract GenLin objects
+// (Section 7.1).
+//
+// A sequential specification is a deterministic state machine: δ(q, op)
+// returns (q', res).  The paper allows non-deterministic machines; all the
+// objects it names (queue, stack, set, priority queue, counter, consensus)
+// are deterministic, and determinism is what makes the membership test
+// tractable, so the SeqState interface is deterministic.  Non-deterministic
+// conditions are still expressible through the GenLinObject membership
+// interface, which is just the predicate P_O of Section 3.
+//
+// GenLin (Definition 7.2) is the class of abstract objects — sets of
+// well-formed finite histories — closed under prefixes and similarity.  In
+// code a GenLinObject is a membership oracle over histories; monitors give
+// the incremental form used by the verifier so that re-checking after each
+// operation does not restart from scratch.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "selin/history/history.hpp"
+
+namespace selin {
+
+/// Deterministic sequential state machine state (Definition 4.1).
+class SeqState {
+ public:
+  virtual ~SeqState() = default;
+  virtual std::unique_ptr<SeqState> clone() const = 0;
+
+  /// δ: apply the operation, mutate the state, return the response.
+  virtual Value step(Method m, Value arg) = 0;
+
+  /// Canonical encoding; two states are equal iff their encodings are equal.
+  /// Used to deduplicate configurations during linearizability checking.
+  virtual std::string encode() const = 0;
+};
+
+class SeqSpec {
+ public:
+  virtual ~SeqSpec() = default;
+  virtual const char* name() const = 0;
+  virtual std::unique_ptr<SeqState> initial() const = 0;
+};
+
+/// Set-sequential specification (set-linearizability, Neiger [81]): the
+/// transition consumes a non-empty *set* of operations that take effect
+/// simultaneously.
+class SetSeqSpec {
+ public:
+  virtual ~SetSeqSpec() = default;
+  virtual const char* name() const = 0;
+  virtual std::unique_ptr<SeqState> initial() const = 0;
+
+  /// Simultaneous transition on `batch`; writes the per-op responses into
+  /// `out` (same length) and returns true, or returns false if the batch is
+  /// not enabled in this state.  Must be deterministic.
+  virtual bool step_set(SeqState& state, std::span<const OpDesc> batch,
+                        std::span<Value> out) const = 0;
+};
+
+/// Incremental membership monitor: feed events one at a time, query the
+/// verdict.  clone() supports the leveled checker's rollback on late records.
+class MembershipMonitor {
+ public:
+  virtual ~MembershipMonitor() = default;
+  virtual void feed(const Event& e) = 0;
+  /// Membership verdict for everything fed so far.  Once false, stays false.
+  virtual bool ok() const = 0;
+  virtual std::unique_ptr<MembershipMonitor> clone() const = 0;
+};
+
+/// An abstract object in the sense of Section 7.1: a set of well-formed
+/// finite histories; contains() is the correctness predicate P_O.
+class GenLinObject {
+ public:
+  virtual ~GenLinObject() = default;
+  virtual const char* name() const = 0;
+  virtual std::unique_ptr<MembershipMonitor> monitor() const = 0;
+
+  /// One-shot membership test (P_O).  Default: replay through a monitor.
+  virtual bool contains(const History& h) const;
+};
+
+/// Runs a *sequential* history through the spec; true iff every response
+/// matches δ.  Used to validate linearizations produced by the checker.
+bool seq_history_valid(const SeqSpec& spec, const History& sequential);
+
+// ---- Concrete specification factories -------------------------------------
+
+std::unique_ptr<SeqSpec> make_queue_spec();
+std::unique_ptr<SeqSpec> make_stack_spec();
+std::unique_ptr<SeqSpec> make_set_spec();
+std::unique_ptr<SeqSpec> make_pqueue_spec();
+std::unique_ptr<SeqSpec> make_counter_spec();
+std::unique_ptr<SeqSpec> make_register_spec(Value initial = 0);
+std::unique_ptr<SeqSpec> make_consensus_spec();
+std::unique_ptr<SetSeqSpec> make_exchanger_spec();
+
+/// The write-snapshot task (Section 9.3) as a GenLin object; outputs are
+/// bitmask views over process ids (n ≤ 64).  Interval-linearizable but not
+/// linearizable, demonstrating GenLin strictly beyond linearizability.
+std::unique_ptr<GenLinObject> make_write_snapshot_object(size_t n);
+
+}  // namespace selin

@@ -1,0 +1,135 @@
+// Write-snapshot task (Section 9.3) as a GenLin object.
+//
+// Each process invokes WriteSnap(v) once; its output is a *snapshot*: the set
+// of processes whose writes it saw, encoded as a bitmask over process ids
+// (n ≤ 64).  A history is in the object iff the complete operations' outputs
+// satisfy the task relation:
+//   (1) self-inclusion:  i ∈ y_i,
+//   (2) comparability:   y_i ⊆ y_j or y_j ⊆ y_i,
+//   (3) real-time containment: op_i ≺ op_j  ⟹  i ∈ y_j and y_i ⊆ y_j,
+//   (4) one-shot: each process invokes at most once.
+// This object is interval-linearizable but not linearizable — it has no
+// sequential specification — demonstrating that GenLin strictly extends
+// linearizability (Section 7.1, [17]).
+//
+// Closure sanity: prefixes drop operations, which cannot violate (1)-(4);
+// similarity preserves outputs, equivalence and only shrinks ≺, so (3) only
+// loses obligations.  Hence the object is closed by prefixes and similarity
+// and genuinely belongs to GenLin.
+#include <vector>
+
+#include "selin/spec/spec.hpp"
+
+namespace selin {
+namespace {
+
+struct WsOp {
+  OpId id;
+  uint64_t mask;  // response bitmask
+};
+
+class WriteSnapshotMonitor final : public MembershipMonitor {
+ public:
+  explicit WriteSnapshotMonitor(size_t n) : n_(n) {}
+
+  void feed(const Event& e) override {
+    if (!ok_) return;
+    if (e.op.id.pid >= n_) {
+      ok_ = false;
+      return;
+    }
+    if (e.is_inv()) {
+      if (invoked_ & (1ULL << e.op.id.pid)) {  // one-shot violated
+        ok_ = false;
+        return;
+      }
+      invoked_ |= 1ULL << e.op.id.pid;
+      inv_order_.push_back(e.op.id);
+      return;
+    }
+    if (e.op.method != Method::kWriteSnap || e.result < 0) {
+      ok_ = false;
+      return;
+    }
+    uint64_t mask = static_cast<uint64_t>(e.result);
+    // (1) self-inclusion
+    if ((mask & (1ULL << e.op.id.pid)) == 0) {
+      ok_ = false;
+      return;
+    }
+    // (1b) a snapshot can only contain writes that were invoked by now.
+    if ((mask & ~invoked_) != 0) {
+      ok_ = false;
+      return;
+    }
+    // (2) comparability with every earlier complete op
+    for (const WsOp& o : complete_) {
+      if ((o.mask & mask) != o.mask && (o.mask & mask) != mask) {
+        ok_ = false;
+        return;
+      }
+    }
+    // (3) every op complete before this op's invocation must be contained:
+    // o ≺ e  iff o's response precedes e's invocation; we track completion
+    // order, so all ops complete at e's invocation time are those recorded
+    // before we saw e's invocation.
+    for (const WsOp& o : complete_) {
+      if (completed_before_inv(o.id, e.op.id)) {
+        if ((mask & (1ULL << o.id.pid)) == 0 || (o.mask & mask) != o.mask) {
+          ok_ = false;
+          return;
+        }
+      }
+    }
+    complete_.push_back(WsOp{e.op.id, mask});
+    complete_at_.push_back(inv_order_.size());
+  }
+
+  bool ok() const override { return ok_; }
+
+  std::unique_ptr<MembershipMonitor> clone() const override {
+    return std::make_unique<WriteSnapshotMonitor>(*this);
+  }
+
+ private:
+  // o ≺ e: o's response was fed before e's invocation.  complete_at_[k] is
+  // the number of invocations seen when complete_[k] responded; comparing it
+  // with e's invocation index decides precedence.
+  bool completed_before_inv(OpId o, OpId e) const {
+    size_t e_inv = 0;
+    for (; e_inv < inv_order_.size(); ++e_inv) {
+      if (inv_order_[e_inv] == e) break;
+    }
+    for (size_t k = 0; k < complete_.size(); ++k) {
+      if (complete_[k].id == o) return complete_at_[k] <= e_inv;
+    }
+    return false;
+  }
+
+  size_t n_;
+  bool ok_ = true;
+  uint64_t invoked_ = 0;
+  std::vector<OpId> inv_order_;
+  std::vector<WsOp> complete_;
+  std::vector<size_t> complete_at_;
+};
+
+class WriteSnapshotObject final : public GenLinObject {
+ public:
+  explicit WriteSnapshotObject(size_t n) : n_(n) {}
+  const char* name() const override { return "write-snapshot-task"; }
+  std::unique_ptr<MembershipMonitor> monitor() const override {
+    return std::make_unique<WriteSnapshotMonitor>(n_);
+  }
+
+ private:
+  size_t n_;
+};
+
+}  // namespace
+
+std::unique_ptr<GenLinObject> make_write_snapshot_object(size_t n) {
+  return std::make_unique<WriteSnapshotObject>(n);
+}
+
+}  // namespace selin

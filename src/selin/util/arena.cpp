@@ -1,0 +1,61 @@
+#include "selin/util/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+namespace selin {
+
+namespace {
+std::atomic<uint64_t> g_next_arena_id{1};
+}  // namespace
+
+Arena::Arena() : id_(g_next_arena_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Arena::~Arena() {
+  Block* b = head_.load(std::memory_order_acquire);
+  while (b != nullptr) {
+    Block* next = b->next;
+    std::free(b);
+    b = next;
+  }
+}
+
+Arena::Block* Arena::new_block(size_t min_payload) {
+  size_t payload = std::max(min_payload, kBlockSize);
+  auto* b = static_cast<Block*>(std::malloc(sizeof(Block) + payload));
+  if (b == nullptr) throw std::bad_alloc{};
+  b->capacity = payload;
+  b->used.store(0, std::memory_order_relaxed);
+  // Publish on the global list so the destructor can reclaim it.
+  Block* h = head_.load(std::memory_order_relaxed);
+  do {
+    b->next = h;
+  } while (!head_.compare_exchange_weak(h, b, std::memory_order_release,
+                                        std::memory_order_relaxed));
+  return b;
+}
+
+void* Arena::allocate(size_t bytes, size_t align) {
+  // Each thread bump-allocates from its own current block per arena; blocks
+  // are shared only through the reclamation list.  The cache keys on the
+  // arena's unique id, not its address — addresses are reused across arena
+  // lifetimes, and one thread commonly interleaves several arenas (queue
+  // nodes, announcement chains, snapshot cells).
+  thread_local std::unordered_map<uint64_t, Block*> blocks;
+  Block*& cur = blocks[id_];
+  for (;;) {
+    if (cur != nullptr) {
+      size_t used = cur->used.load(std::memory_order_relaxed);
+      size_t aligned = (used + align - 1) & ~(align - 1);
+      if (aligned + bytes <= cur->capacity) {
+        cur->used.store(aligned + bytes, std::memory_order_relaxed);
+        bytes_.fetch_add(bytes, std::memory_order_relaxed);
+        return cur->data() + aligned;
+      }
+    }
+    cur = new_block(bytes + align);
+  }
+}
+
+}  // namespace selin

@@ -1,0 +1,69 @@
+// Concurrent monotone arena.
+//
+// Section 9.1 of the paper replaces unbounded-size registers by immutable
+// singly-linked lists whose nodes are only ever prepended.  Nodes therefore
+// live until the owning object is destroyed, which is exactly the lifetime a
+// monotone arena provides.  The arena is a lock-free Treiber list of malloc'd
+// blocks; allocation is wait-free per thread (thread-local bump block, with a
+// CAS only when registering a fresh block).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace selin {
+
+class Arena {
+ public:
+  Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  ~Arena();
+
+  /// Allocate raw storage; never freed until the arena dies.  Thread-safe.
+  void* allocate(size_t bytes, size_t align);
+
+  /// Construct a T inside the arena.  The destructor of T is NOT run (arena
+  /// types must be trivially destructible or leak-tolerant by design).
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* p = allocate(sizeof(T), alignof(T));
+    return new (p) T(std::forward<Args>(args)...);
+  }
+
+  /// Copy a range into arena-owned storage, returning the new pointer.
+  template <typename T>
+  T* copy_range(const T* src, size_t count) {
+    T* dst = static_cast<T*>(allocate(sizeof(T) * count, alignof(T)));
+    for (size_t i = 0; i < count; ++i) new (dst + i) T(src[i]);
+    return dst;
+  }
+
+  /// Total bytes handed out (diagnostics).
+  size_t bytes_allocated() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Block {
+    Block* next;
+    std::atomic<size_t> used;
+    size_t capacity;
+    // payload follows
+    std::byte* data() { return reinterpret_cast<std::byte*>(this + 1); }
+  };
+
+  Block* new_block(size_t min_payload);
+
+  std::atomic<Block*> head_{nullptr};
+  std::atomic<size_t> bytes_{0};
+  /// Globally unique arena id: thread-local caches key on this rather than
+  /// the arena address, which the allocator may reuse after destruction.
+  const uint64_t id_;
+  static constexpr size_t kBlockSize = 1 << 20;  // 1 MiB payload blocks
+};
+
+}  // namespace selin

@@ -1,0 +1,37 @@
+// Deterministic, seedable RNG used by workloads, property tests and the
+// faulty implementations.  SplitMix64: tiny, fast, good-quality, and — unlike
+// std::mt19937 — cheap to construct per operation so randomized schedules are
+// reproducible from (seed, pid, seq).
+#pragma once
+
+#include <cstdint>
+
+namespace selin {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound).
+  uint64_t below(uint64_t bound) { return bound == 0 ? 0 : next() % bound; }
+
+  /// Bernoulli with probability num/den.
+  bool chance(uint64_t num, uint64_t den) { return below(den) < num; }
+
+  /// Uniform in [lo, hi].
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace selin

@@ -1,0 +1,33 @@
+// Sense-reversing spin barrier for benchmark thread coordination.  Benchmarks
+// need all worker threads to start an epoch simultaneously; std::barrier
+// sleeps, which distorts short measurement windows.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace selin {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(size_t parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    bool sense = sense_.load(std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(!sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) == sense) {
+        // spin
+      }
+    }
+  }
+
+ private:
+  const size_t parties_;
+  std::atomic<size_t> count_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace selin

@@ -1,0 +1,112 @@
+// Fundamental vocabulary shared by every module of selin.
+//
+// The paper (Section 2) models a system of n asynchronous crash-prone
+// processes p_1..p_n that invoke a single high-level operation Apply(op) on a
+// concurrent object, where `op` describes the actual operation (method +
+// inputs).  Each Apply input is unique (Section 2, "Apply is invoked with a
+// given input op only once"); we guarantee uniqueness by tagging every
+// operation with an OpId = (process id, per-process sequence number).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace selin {
+
+/// Index of a process (paper: the index i of p_i).  0-based in code.
+using ProcId = uint32_t;
+
+/// All operation arguments and results are modeled as 64-bit integers with a
+/// few reserved sentinels.  This matches the paper's objects (queues, stacks,
+/// sets, priority queues, counters, registers, consensus), whose values are
+/// opaque tokens.
+using Value = int64_t;
+
+/// Reserved response/argument sentinels.
+constexpr Value kEmpty = std::numeric_limits<Value>::min();      ///< "empty"
+constexpr Value kOk = std::numeric_limits<Value>::min() + 1;     ///< "ok"/ack
+constexpr Value kTrue = 1;
+constexpr Value kFalse = 0;
+/// Returned by self-enforced implementations instead of a value when the
+/// verification layer reports ERROR (Figure 11, line 10).
+constexpr Value kError = std::numeric_limits<Value>::min() + 2;
+/// "No argument" marker for nullary methods.
+constexpr Value kNoArg = std::numeric_limits<Value>::min() + 3;
+
+/// High-level operation methods across every sequential object we implement.
+/// A single enum keeps OpDesc POD and lets histories mix objects in tests.
+enum class Method : uint8_t {
+  // queue
+  kEnqueue,
+  kDequeue,
+  // stack
+  kPush,
+  kPop,
+  // set
+  kInsert,
+  kRemove,
+  kContains,
+  // priority queue (min-pq)
+  kPqInsert,
+  kPqExtractMin,
+  // counter
+  kInc,
+  kCounterRead,
+  // read/write register
+  kRead,
+  kWrite,
+  // consensus (Theorem 5.1 formulation: Decide can be invoked several times,
+  // the first invocation fixes the decision)
+  kDecide,
+  // set-sequential exchanger (Section 7.1 generalization exercise)
+  kExchange,
+  // one-shot write-snapshot task (Section 9.3)
+  kWriteSnap,
+};
+
+const char* method_name(Method m);
+
+/// Globally unique identity of a high-level operation: which process invoked
+/// it and its per-process sequence number.  The paper's invocation pair
+/// (p_i, op_i) is represented by an OpId (the pair is unique per Section 2).
+struct OpId {
+  ProcId pid = 0;
+  uint32_t seq = 0;
+
+  constexpr uint64_t packed() const {
+    return (static_cast<uint64_t>(pid) << 32) | seq;
+  }
+  friend constexpr bool operator==(OpId a, OpId b) {
+    return a.packed() == b.packed();
+  }
+  friend constexpr bool operator!=(OpId a, OpId b) { return !(a == b); }
+  friend constexpr bool operator<(OpId a, OpId b) {
+    return a.packed() < b.packed();
+  }
+};
+
+/// Description of a high-level operation: identity, method and argument.
+/// This is the `op` passed to Apply(op) in the paper.
+struct OpDesc {
+  OpId id;
+  Method method = Method::kRead;
+  Value arg = kNoArg;
+
+  friend bool operator==(const OpDesc& a, const OpDesc& b) {
+    return a.id == b.id && a.method == b.method && a.arg == b.arg;
+  }
+};
+
+std::string to_string(const OpDesc& op);
+std::string value_string(Value v);
+
+}  // namespace selin
+
+template <>
+struct std::hash<selin::OpId> {
+  size_t operator()(const selin::OpId& id) const noexcept {
+    return std::hash<uint64_t>{}(id.packed());
+  }
+};

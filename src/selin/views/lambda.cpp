@@ -1,0 +1,91 @@
+#include "selin/views/lambda.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace selin {
+
+std::optional<std::string> validate_views(
+    const std::vector<LambdaRecord>& records) {
+  // (1) self-inclusion
+  for (const LambdaRecord& r : records) {
+    if (!r.view.contains(r.op.id)) {
+      return "self-inclusion violated for " + to_string(r.op);
+    }
+  }
+  // (2) containment comparability (pairwise)
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (size_t j = i + 1; j < records.size(); ++j) {
+      const View& a = records[i].view;
+      const View& b = records[j].view;
+      if (!View::subset_of(a, b) && !View::subset_of(b, a)) {
+        return "containment comparability violated between " +
+               to_string(records[i].op) + " and " + to_string(records[j].op);
+      }
+    }
+  }
+  // (3) process sequentiality: for two distinct ops of the same process, the
+  // earlier one's view must not contain the later one, in at least one
+  // direction — concretely, not both views contain both ops.
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (size_t j = i + 1; j < records.size(); ++j) {
+      const LambdaRecord& a = records[i];
+      const LambdaRecord& b = records[j];
+      if (a.op.id.pid != b.op.id.pid || a.op.id == b.op.id) continue;
+      if (a.view.contains(b.op.id) && b.view.contains(a.op.id)) {
+        return "process sequentiality violated between " + to_string(a.op) +
+               " and " + to_string(b.op);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+History x_of_lambda(const std::vector<LambdaRecord>& records) {
+  // Distinct views keyed by size (under containment comparability two views
+  // of equal size are equal).
+  std::map<uint64_t, const View*> levels;
+  for (const LambdaRecord& r : records) {
+    levels.emplace(r.view.size(), &r.view);
+  }
+  // Records grouped by level key.
+  std::map<uint64_t, std::vector<const LambdaRecord*>> by_level;
+  for (const LambdaRecord& r : records) {
+    by_level[r.view.size()].push_back(&r);
+  }
+
+  History out;
+  const View* prev = nullptr;
+  for (const auto& [size, view] : levels) {
+    // Invocations of σk \ σk−1: per process, the chain segment beyond the
+    // previous level's chain.
+    std::vector<OpDesc> invs;
+    for (size_t p = 0; p < view->procs(); ++p) {
+      uint32_t prev_len = (prev == nullptr)
+                              ? 0
+                              : prev->chain_len(static_cast<ProcId>(p));
+      const SetNode* n = view->heads()[p];
+      while (n != nullptr && n->len > prev_len) {
+        invs.push_back(n->op);
+        n = n->next;
+      }
+    }
+    std::sort(invs.begin(), invs.end(),
+              [](const OpDesc& a, const OpDesc& b) { return a.id < b.id; });
+    for (const OpDesc& op : invs) out.push_back(Event::inv(op));
+
+    auto& recs = by_level[size];
+    std::sort(recs.begin(), recs.end(),
+              [](const LambdaRecord* a, const LambdaRecord* b) {
+                return a->op.id < b->op.id;
+              });
+    for (const LambdaRecord* r : recs) {
+      out.push_back(Event::res(r->op, r->y));
+    }
+    prev = view;
+  }
+  return out;
+}
+
+}  // namespace selin

@@ -1,0 +1,43 @@
+// λ-records and the X(λ) construction (Section 7.3.3, Figure 9).
+//
+// A λ-record is the 4-tuple (p_i, op_i, y_i, λ_i): the response of one A*
+// operation together with its view.  The set λ_E of all 4-tuples of a tight
+// execution E determines, through the construction below, a history X(λ_E)
+// that is equivalent to E with ≺_E = ≺_X(λ_E) (Lemma 7.4) — the views are a
+// static encoding of the real-time order.
+//
+// Construction (from [17]): order the distinct views by containment
+// σ1 ⊂ σ2 ⊂ ... ⊂ σm; for each k append the invocations of σk \ σk−1 (in any
+// order) and then the responses of all records whose view is σk (in any
+// order).  All orders produce similar histories (Claim 7.1), so X(λ) denotes
+// an equivalence class; we fix OpId order for determinism.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "selin/history/history.hpp"
+#include "selin/views/view.hpp"
+
+namespace selin {
+
+/// The 4-tuple (p, op, y, view).  p is op.id.pid.
+struct LambdaRecord {
+  OpDesc op;
+  Value y = kNoArg;
+  View view;
+};
+
+/// Checks the three properties of Remark 7.2 on a set of records (plus
+/// pairwise view containment-comparability).  Returns an explanation of the
+/// first violation, or nullopt if all properties hold.
+std::optional<std::string> validate_views(
+    const std::vector<LambdaRecord>& records);
+
+/// X(λ): builds the sketched history from a set of 4-tuples.  Invocation
+/// pairs present in some view but lacking a record become pending
+/// invocations (this is exactly the "missing response" slack of Lemma 8.1).
+History x_of_lambda(const std::vector<LambdaRecord>& records);
+
+}  // namespace selin

@@ -1,0 +1,106 @@
+#include "selin/views/leveled_history.hpp"
+
+#include <algorithm>
+
+namespace selin {
+
+std::vector<OpDesc> XBuilder::delta(const View* prev, const View& view) {
+  std::vector<OpDesc> invs;
+  for (size_t p = 0; p < view.procs(); ++p) {
+    uint32_t prev_len =
+        prev == nullptr ? 0 : prev->chain_len(static_cast<ProcId>(p));
+    const SetNode* n = view.heads()[p];
+    while (n != nullptr && n->len > prev_len) {
+      invs.push_back(n->op);
+      n = n->next;
+    }
+  }
+  std::sort(invs.begin(), invs.end(),
+            [](const OpDesc& a, const OpDesc& b) { return a.id < b.id; });
+  return invs;
+}
+
+size_t XBuilder::add(const LambdaRecord* rec) {
+  ++records_;
+  uint64_t key = rec->view.size();
+  auto pos = std::lower_bound(
+      levels_.begin(), levels_.end(), key,
+      [](const Level& l, uint64_t k) { return l.key < k; });
+  size_t idx = static_cast<size_t>(pos - levels_.begin());
+
+  if (pos != levels_.end() && pos->key == key) {
+    // Existing level: insert the response, keeping OpId order.
+    auto& ress = pos->ress;
+    auto it = std::lower_bound(
+        ress.begin(), ress.end(), rec->op.id,
+        [](const std::pair<OpDesc, Value>& r, OpId id) {
+          return r.first.id < id;
+        });
+    ress.insert(it, {rec->op, rec->y});
+    return idx;
+  }
+
+  // New level at idx.
+  const View* prev = idx == 0 ? nullptr : levels_[idx - 1].view;
+  Level lvl;
+  lvl.key = key;
+  lvl.view = &rec->view;
+  lvl.invs = delta(prev, rec->view);
+  lvl.ress.push_back({rec->op, rec->y});
+  // The old level at idx (if any) loses the invocations now claimed by the
+  // inserted level: recompute its delta against the new predecessor.
+  if (idx < levels_.size()) {
+    levels_[idx].invs = delta(&rec->view, *levels_[idx].view);
+  }
+  levels_.insert(levels_.begin() + static_cast<long>(idx), std::move(lvl));
+  return idx;
+}
+
+History XBuilder::flatten() const {
+  History out;
+  for (const Level& lvl : levels_) {
+    for (const OpDesc& op : lvl.invs) out.push_back(Event::inv(op));
+    for (const auto& [op, y] : lvl.ress) out.push_back(Event::res(op, y));
+  }
+  return out;
+}
+
+void LeveledChecker::feed_level(const Level& lvl) {
+  // Monitors are sticky-false, so feeding past a failed level is harmless;
+  // GenLin objects are prefix-closed, hence a failing prefix settles the
+  // verdict anyway.
+  for (const OpDesc& op : lvl.invs) cur_->feed(Event::inv(op));
+  for (const auto& [op, y] : lvl.ress) cur_->feed(Event::res(op, y));
+  ++fed_;
+  if (fed_ % stride_ == 0) {
+    size_t idx = fed_ / stride_ - 1;
+    if (checkpoints_.size() <= idx) checkpoints_.resize(idx + 1);
+    checkpoints_[idx] = cur_->clone();
+  }
+}
+
+bool LeveledChecker::resync(const XBuilder& builder, size_t from_level) {
+  const auto& levels = builder.levels();
+  if (cur_ == nullptr) {
+    cur_ = obj_->monitor();
+    fed_ = 0;
+  }
+  if (from_level < fed_) {
+    // A record landed in the middle: restore the nearest checkpoint at or
+    // below from_level and replay.
+    size_t ckpt = from_level / stride_;  // checkpoints below
+    if (ckpt == 0) {
+      cur_ = obj_->monitor();
+      fed_ = 0;
+    } else {
+      cur_ = checkpoints_[ckpt - 1]->clone();
+      fed_ = ckpt * stride_;
+    }
+    checkpoints_.resize(ckpt);
+  }
+  while (fed_ < levels.size()) feed_level(levels[fed_]);
+  ok_ = cur_->ok();
+  return ok_;
+}
+
+}  // namespace selin

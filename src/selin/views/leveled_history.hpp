@@ -1,0 +1,94 @@
+// Incremental X(λ) maintenance.
+//
+// The verifier (Figure 10) and the self-enforced implementation (Figure 11)
+// recompute X(τ_i) and re-test membership after *every* operation.  Testing
+// the whole history from scratch each time would make the local computation
+// quadratic; instead we exploit the level structure of X(λ):
+//
+//   * XBuilder maintains the levels σ1 ⊂ σ2 ⊂ ... of the records seen so
+//     far.  Adding a record usually appends at the end; a record that was
+//     written to M late lands in an *existing* middle level (its view is
+//     small), which only invalidates levels from that point on.
+//
+//   * LeveledChecker memoizes the membership monitor state after every
+//     level, so a change at level k re-feeds only levels k..m.
+//
+// The two classes are deliberately single-threaded: each verifier process
+// owns one pair and feeds it from its own snapshots (Line 08 of Figure 10),
+// mirroring the paper's "each process locally tests" discipline.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "selin/spec/spec.hpp"
+#include "selin/views/lambda.hpp"
+
+namespace selin {
+
+/// One level of X(λ): the invocations that first appear in σk, then the
+/// responses of the records whose view is σk.
+struct Level {
+  uint64_t key = 0;  ///< |σk| — unique under containment comparability
+  const View* view = nullptr;
+  std::vector<OpDesc> invs;
+  std::vector<std::pair<OpDesc, Value>> ress;
+};
+
+class XBuilder {
+ public:
+  /// Incorporates a record (which must outlive the builder).  Returns the
+  /// index of the lowest level whose content changed.
+  size_t add(const LambdaRecord* rec);
+
+  const std::vector<Level>& levels() const { return levels_; }
+
+  /// The full history X(λ) in level order (used for witnesses/certificates).
+  History flatten() const;
+
+  size_t record_count() const { return records_; }
+
+ private:
+  /// Invocation pairs of `view` beyond `prev` (σk \ σk−1), sorted by OpId.
+  static std::vector<OpDesc> delta(const View* prev, const View& view);
+
+  std::vector<Level> levels_;
+  size_t records_ = 0;
+};
+
+/// Memoizing membership evaluator over an XBuilder.
+///
+/// Keeps one live monitor at the current frontier plus sparse checkpoints
+/// every kCheckpointStride levels; a change at level k restores the nearest
+/// checkpoint at or below k and replays forward (at most kCheckpointStride-1
+/// extra levels).  Appends — the overwhelmingly common case — advance the
+/// live monitor directly, so the amortized per-operation cost is one level.
+class LeveledChecker {
+ public:
+  /// `checkpoint_stride` trades rollback-replay cost (≤ stride-1 levels)
+  /// against checkpoint memory/clone cost (one monitor clone per stride
+  /// levels).  bench_ablation sweeps it; 16 is the tuned default.
+  explicit LeveledChecker(const GenLinObject& obj, size_t checkpoint_stride = 16)
+      : obj_(&obj), stride_(checkpoint_stride == 0 ? 1 : checkpoint_stride) {}
+
+  /// Re-evaluates after the builder changed at `from_level`; returns the
+  /// current verdict X(λ) ∈ O.
+  bool resync(const XBuilder& builder, size_t from_level);
+
+  bool ok() const { return ok_; }
+
+ private:
+
+  /// Feed one level into the live monitor, snapshotting checkpoints.
+  void feed_level(const Level& lvl);
+
+  const GenLinObject* obj_;
+  size_t stride_;
+  std::unique_ptr<MembershipMonitor> cur_;  // state after levels [0, fed_)
+  size_t fed_ = 0;                          // levels consumed by cur_
+  /// checkpoints_[i] = monitor state after (i+1)*stride_ levels.
+  std::vector<std::unique_ptr<MembershipMonitor>> checkpoints_;
+  bool ok_ = true;
+};
+
+}  // namespace selin

@@ -1,0 +1,49 @@
+#include "selin/views/view.hpp"
+
+#include <algorithm>
+
+namespace selin {
+
+View::View(std::vector<const SetNode*> heads) : heads_(std::move(heads)) {
+  for (const SetNode* h : heads_) {
+    if (h != nullptr) size_ += h->len;
+  }
+}
+
+bool View::contains(OpId id) const {
+  if (id.pid >= heads_.size()) return false;
+  for (const SetNode* n = heads_[id.pid]; n != nullptr; n = n->next) {
+    if (n->op.id == id) return true;
+  }
+  return false;
+}
+
+std::vector<OpDesc> View::materialize() const {
+  std::vector<OpDesc> out;
+  out.reserve(size_);
+  for (const SetNode* h : heads_) {
+    for (const SetNode* n = h; n != nullptr; n = n->next) {
+      out.push_back(n->op);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OpDesc& a, const OpDesc& b) { return a.id < b.id; });
+  return out;
+}
+
+bool View::subset_of(const View& a, const View& b) {
+  if (a.procs() != b.procs()) return false;
+  for (size_t p = 0; p < a.procs(); ++p) {
+    const SetNode* ha = a.heads_[p];
+    if (ha == nullptr) continue;
+    const SetNode* hb = b.heads_[p];
+    if (hb == nullptr || hb->len < ha->len) return false;
+    // Walk b's chain down to a's length; the nodes must coincide (chains are
+    // single-writer, so equal length at the same process means same node).
+    while (hb->len > ha->len) hb = hb->next;
+    if (hb != ha) return false;
+  }
+  return true;
+}
+
+}  // namespace selin

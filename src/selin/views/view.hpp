@@ -1,0 +1,67 @@
+// Views (Section 7.3 and [17]).
+//
+// In A* (Figure 7) every process announces each operation by prepending an
+// invocation pair (p_i, op_i) to its grow-only set, then writes the set into
+// its snapshot entry.  Following Section 9.1, a set is an immutable
+// singly-linked list of SetNodes, so the registers hold bounded-size values
+// (one pointer) and a view is just the vector of n chain heads returned by a
+// Snapshot() — the union of the chains.
+//
+// Remark 7.2's properties hold by construction for views produced this way:
+//   (1) self-inclusion    — a process writes its pair before scanning,
+//   (2) containment       — snapshots of grow-only entries are coordinatewise
+//       comparable, hence their unions are ⊆-comparable,
+//   (3) process sequentiality — chains are per-process sequential.
+// validate_views() re-checks them explicitly (tests, and Lemma 7.4's
+// bijection precondition).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "selin/util/types.hpp"
+
+namespace selin {
+
+/// One announced invocation pair (p_i, op_i) in a process's grow-only set.
+struct SetNode {
+  OpDesc op;
+  const SetNode* next;  ///< previous announcement of the same process
+  uint32_t len;         ///< chain length including this node
+};
+
+/// A view: the result of one Snapshot() over the announcement entries.
+/// Immutable after construction.
+class View {
+ public:
+  View() = default;
+  explicit View(std::vector<const SetNode*> heads);
+
+  const std::vector<const SetNode*>& heads() const { return heads_; }
+  size_t procs() const { return heads_.size(); }
+
+  /// |view| = total number of invocation pairs (sum of chain lengths).
+  /// Under containment comparability, equal sizes imply equal views, so the
+  /// size is the level key of the X(λ) construction.
+  uint64_t size() const { return size_; }
+
+  uint32_t chain_len(ProcId p) const {
+    const SetNode* h = heads_[p];
+    return h == nullptr ? 0 : h->len;
+  }
+
+  bool contains(OpId id) const;
+
+  /// All pairs in the view, sorted by OpId (materialization is O(|view|)).
+  std::vector<OpDesc> materialize() const;
+
+  /// Coordinatewise containment test: every chain of `a` is a prefix-chain of
+  /// the corresponding chain of `b`.
+  static bool subset_of(const View& a, const View& b);
+
+ private:
+  std::vector<const SetNode*> heads_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace selin

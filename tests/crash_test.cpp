@@ -1,0 +1,122 @@
+// Crash failures (the paper's fault model: all but one process may crash).
+// Wait-freedom means survivors are never blocked by a crashed process, and
+// the verifier stays sound when operations are left pending forever — a
+// crashed process's announced-but-unfinished operation shows up in views as
+// a pending invocation, which Definition 4.2 handles via extensions.
+//
+// A "crash" here is a process that simply stops taking steps at an
+// adversarially chosen point (after announce, or after invoking A); the
+// other processes keep going through the same shared objects.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "test_util.hpp"
+
+namespace selin {
+namespace {
+
+// Crash after announce (Line 02 of Figure 7): the op is in views forever,
+// never completed.  Survivors must stay ERROR-free on a correct A.
+TEST(Crash, PendingAnnouncedOpDoesNotPoisonVerifier) {
+  auto q = make_ms_queue();
+  auto obj = make_linearizable_object(make_queue_spec());
+  AStar astar(3, *q);
+  MonitorCore core(3, 3, *obj);
+  SteppedAStar step(astar);
+
+  // p2 announces an enqueue and crashes (never invokes/completes).
+  step.announce(2, Method::kEnqueue, 999);
+
+  // p0 and p1 run a long workload.
+  Rng rng(9);
+  for (int i = 0; i < 60; ++i) {
+    ProcId p = static_cast<ProcId>(rng.below(2));
+    auto [m, arg] = random_op(ObjectKind::kQueue, rng);
+    auto r = step.run_all(p, m, arg);
+    core.publish(p, r.op, r.y, std::move(r.view));
+    EXPECT_TRUE(core.check(p)) << "iteration " << i << ":\n"
+                               << format_history(core.sketch(p));
+  }
+  // The sketch contains the crashed op as a pending invocation.
+  History sk = core.sketch(0);
+  HistoryIndex idx(sk);
+  bool has_pending_999 = false;
+  for (const OpRecord& r : idx.ops()) {
+    if (!r.complete() && r.op.arg == 999) has_pending_999 = true;
+  }
+  EXPECT_TRUE(has_pending_999);
+}
+
+// Crash after invoking A (the enqueue TOOK EFFECT inside A, but the wrapper
+// never completed): survivors may dequeue the value; the sketch must accept
+// it by linearizing the pending op (Definition 4.2 extension).
+TEST(Crash, EffectOfCrashedOpIsJustifiedByPendingInvocation) {
+  auto q = make_ms_queue();
+  auto obj = make_linearizable_object(make_queue_spec());
+  AStar astar(2, *q);
+  MonitorCore core(2, 2, *obj);
+  SteppedAStar step(astar);
+
+  step.announce(1, Method::kEnqueue, 7);
+  step.invoke(1);  // value 7 is in the queue; p1 crashes here
+
+  auto r = step.run_all(0, Method::kDequeue);
+  EXPECT_EQ(r.y, 7);  // survivor observes the crashed op's effect
+  core.publish(0, r.op, r.y, std::move(r.view));
+  EXPECT_TRUE(core.check(0)) << format_history(core.sketch(0));
+}
+
+// Without the announcement the same response would be rejected — showing the
+// announce step is what makes crashed-op effects explicable.  We simulate a
+// "mute" implementation fault: a dequeue returning a value nobody announced.
+TEST(Crash, UnannouncedEffectIsRejected) {
+  auto q = make_thm51_queue(0);  // p0's first dequeue lies: returns 1
+  auto obj = make_linearizable_object(make_queue_spec());
+  AStar astar(2, *q);
+  MonitorCore core(2, 2, *obj);
+  SteppedAStar step(astar);
+
+  auto r = step.run_all(0, Method::kDequeue);
+  EXPECT_EQ(r.y, 1);
+  core.publish(0, r.op, r.y, std::move(r.view));
+  EXPECT_FALSE(core.check(0));
+}
+
+// Real threads: kill (join) a subset mid-workload at random points; the
+// survivors keep completing operations (wait-freedom) and never see ERROR.
+class CrashSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrashSweep, SurvivorsUnaffected) {
+  uint64_t seed = GetParam();
+  constexpr size_t kProcs = 4;
+  auto q = make_ms_queue();
+  auto obj = make_linearizable_object(make_queue_spec());
+  SelfEnforced se(kProcs, *q, *obj);
+
+  SpinBarrier barrier(kProcs);
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (ProcId p = 0; p < kProcs; ++p) {
+    threads.emplace_back([&, p] {
+      Rng rng(seed * 100 + p);
+      barrier.arrive_and_wait();
+      // Processes 2 and 3 "crash" after a random number of operations.
+      int my_ops = (p >= 2) ? static_cast<int>(rng.below(40)) : 200;
+      for (int i = 0; i < my_ops; ++i) {
+        auto [m, arg] = random_op(ObjectKind::kQueue, rng);
+        if (se.apply(p, m, arg).error) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  // Survivor certificates remain valid.
+  EXPECT_TRUE(obj->contains(se.certificate(0)));
+  EXPECT_TRUE(obj->contains(se.certificate(1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashSweep, ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace selin

@@ -1,0 +1,76 @@
+// Enforcement semantics (Figure 8, Section 7.3.1 discussion): due to
+// asynchrony, A* is able to "fix" some non-linearizable histories of A — the
+// wrapped operations span a wider window, overlapping what A mis-ordered.
+// Where it cannot fix, the views detect (Theorem 8.1 completeness); either
+// way a client of V_{O,A} never consumes an unflagged incorrect response
+// (Theorem 8.2's contract, exercised end-to-end in self_enforced_test).
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace selin {
+namespace {
+
+// Figure 8 as a deterministic schedule: A (the Theorem 5.1 queue) produces
+// deq():1 before any enqueue took effect — a non-linearizable history of A.
+// But because p1's *announce* step lands before p2's *snapshot* step, the
+// A* operations overlap, and the A* history (equally, its sketch) is
+// linearizable: the mistake is enforced correct.
+TEST(Enforcement, AStarFixesFigure8Schedule) {
+  auto q = make_thm51_queue(/*liar=*/1);
+  RecordingConcurrent recorded(*q, 64);
+  AStar astar(2, recorded);
+  SteppedAStar step(astar);
+
+  step.announce(1, Method::kDequeue);
+  step.announce(0, Method::kEnqueue, 1);  // enq announced before deq invokes
+  Value deq_y = step.invoke(1);           // A lies: deq -> 1
+  EXPECT_EQ(deq_y, 1);
+  step.invoke(0);
+  auto rd = step.complete(1);
+  auto re = step.complete(0);
+
+  auto spec = make_queue_spec();
+  // The inner history of A is NOT linearizable (deq:1 completed before the
+  // enqueue was invoked inside A).
+  History inner = recorded.history();
+  EXPECT_FALSE(linearizable(*spec, inner)) << format_history(inner);
+
+  // The A* sketch IS linearizable: the wrapper enforced correctness.
+  History x = x_of_lambda(std::vector<LambdaRecord>{
+      {rd.op, rd.y, rd.view}, {re.op, re.y, re.view}});
+  EXPECT_TRUE(linearizable(*spec, x)) << format_history(x);
+}
+
+// The complementary case: short delays — A's violation is visible in the
+// sketch and MUST be detected (this is what completeness is made of).
+TEST(Enforcement, ShortDelaysExposeViolation) {
+  auto q = make_thm51_queue(1);
+  AStar astar(2, *q);
+  SteppedAStar step(astar);
+
+  auto rd = step.run_all(1, Method::kDequeue);  // deq -> 1, alone
+  auto re = step.run_all(0, Method::kEnqueue, 1);
+  EXPECT_EQ(rd.y, 1);
+
+  History x = x_of_lambda(std::vector<LambdaRecord>{
+      {rd.op, rd.y, rd.view}, {re.op, re.y, re.view}});
+  auto spec = make_queue_spec();
+  EXPECT_FALSE(linearizable(*spec, x)) << format_history(x);
+}
+
+// End to end through SelfEnforced with the same two schedules: the fixed
+// schedule yields no ERROR; the exposed schedule yields ERROR on the spot.
+TEST(Enforcement, SelfEnforcedFlagsSequentialLieImmediately) {
+  auto obj = make_linearizable_object(make_queue_spec());
+  auto q = make_thm51_queue(1);
+  SelfEnforced se(2, *q, *obj);
+  auto out = se.apply(1, Method::kDequeue);  // deq -> 1 with empty queue
+  EXPECT_TRUE(out.error);
+  EXPECT_EQ(out.value, kError);
+  History w = se.certificate(1);
+  EXPECT_FALSE(obj->contains(w)) << format_history(w);
+}
+
+}  // namespace
+}  // namespace selin

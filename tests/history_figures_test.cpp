@@ -1,0 +1,123 @@
+// The paper's hand-drawn example histories, encoded exactly and checked with
+// the membership engine (experiments E1 and E2 of DESIGN.md).
+//
+//  * Figure 1: two 2-process stack histories with identical partial views
+//    (per-process event sequences) where one is linearizable and the other
+//    is not — the core of why runtime verification is hard.
+//  * Figure 3: two 3-process stack histories, one linearizable with the
+//    linearization given in the caption, one not ("the stack cannot be empty
+//    when Pop():empty starts").
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace selin {
+namespace {
+
+using test::OpFactory;
+
+// Figure 1 (top): Push(1):true by p1 overlaps Pop():1 by p2 such that the
+// push *starts before* the pop ends — linearizable.
+TEST(Figure1, TopHistoryLinearizable) {
+  OpFactory f;
+  OpDesc push = f.op(0, Method::kPush, 1);
+  OpDesc pop = f.op(1, Method::kPop);
+  History top{Event::inv(push), Event::inv(pop), Event::res(push, kTrue),
+              Event::res(pop, 1)};
+  auto spec = make_stack_spec();
+  EXPECT_TRUE(linearizable(*spec, top));
+  EXPECT_TRUE(linearizable_bruteforce(*spec, top));
+}
+
+// Figure 1 (bottom): Pop():1 completes strictly before Push(1) starts — not
+// linearizable, yet both processes observe the same local sequences.
+TEST(Figure1, BottomHistoryNotLinearizable) {
+  OpFactory f;
+  OpDesc push = f.op(0, Method::kPush, 1);
+  OpDesc pop = f.op(1, Method::kPop);
+  History bottom{Event::inv(pop), Event::res(pop, 1), Event::inv(push),
+                 Event::res(push, kTrue)};
+  auto spec = make_stack_spec();
+  EXPECT_FALSE(linearizable(*spec, bottom));
+  EXPECT_FALSE(linearizable_bruteforce(*spec, bottom));
+}
+
+TEST(Figure1, PartialViewsIdentical) {
+  OpFactory f1, f2;
+  OpDesc push1 = f1.op(0, Method::kPush, 1);
+  OpDesc pop1 = f1.op(1, Method::kPop);
+  History top{Event::inv(push1), Event::inv(pop1), Event::res(push1, kTrue),
+              Event::res(pop1, 1)};
+  OpDesc push2 = f2.op(0, Method::kPush, 1);
+  OpDesc pop2 = f2.op(1, Method::kPop);
+  History bottom{Event::inv(pop2), Event::res(pop2, 1), Event::inv(push2),
+                 Event::res(push2, kTrue)};
+  // Same per-process sequences: the real-time order is the only difference.
+  EXPECT_TRUE(equivalent(top, bottom));
+}
+
+// Figure 3 (top): linearization ⟨Push(2)⟩⟨Push(1)⟩⟨Pop():1⟩⟨Pop():2⟩.
+//   p1: Push(1):true, then Pop():2 (overlapping p3's pop)
+//   p2: Push(2):true (overlapping p1's push)
+//   p3: Pop():1 (starting after both pushes end)
+TEST(Figure3, TopHistoryLinearizable) {
+  OpFactory f;
+  OpDesc push1 = f.op(0, Method::kPush, 1);
+  OpDesc push2 = f.op(1, Method::kPush, 2);
+  OpDesc pop3 = f.op(2, Method::kPop);
+  OpDesc pop1 = f.op(0, Method::kPop);
+  History h{
+      Event::inv(push1), Event::inv(push2),   Event::res(push1, kTrue),
+      Event::res(push2, kTrue), Event::inv(pop3), Event::inv(pop1),
+      Event::res(pop3, 1), Event::res(pop1, 2),
+  };
+  auto spec = make_stack_spec();
+  EXPECT_TRUE(linearizable(*spec, h));
+
+  // The caption's linearization is a valid sequential stack history and a
+  // real linearization of h (checked end-to-end through find_linearization).
+  auto lin = find_linearization(*spec, h);
+  ASSERT_TRUE(lin.has_value());
+  EXPECT_TRUE(sequential(*lin));
+  EXPECT_TRUE(seq_history_valid(*spec, *lin));
+  EXPECT_TRUE(equivalent(comp(h), *lin));
+}
+
+// Figure 3 (bottom): Pop():empty while element 1 is in the stack throughout
+// — not linearizable.
+TEST(Figure3, BottomHistoryNotLinearizable) {
+  OpFactory f;
+  OpDesc push1 = f.op(0, Method::kPush, 1);
+  OpDesc push2 = f.op(1, Method::kPush, 2);
+  OpDesc popE = f.op(2, Method::kPop);   // returns empty
+  OpDesc pop1 = f.op(0, Method::kPop);   // returns 1
+  History h{
+      Event::inv(push1),        Event::res(push1, kTrue),
+      Event::inv(push2),        Event::res(push2, kTrue),
+      Event::inv(popE),         Event::inv(pop1),
+      Event::res(pop1, 1),      Event::res(popE, kEmpty),
+  };
+  auto spec = make_stack_spec();
+  EXPECT_FALSE(linearizable(*spec, h));
+  EXPECT_FALSE(linearizable_bruteforce(*spec, h));
+}
+
+// Figure 3 bottom becomes linearizable if the pop may see an empty stack:
+// sanity check that the verdict flips when push2 is removed and pop1
+// swallows the only element first.
+TEST(Figure3, EmptyPopIsFineWhenStackCanBeEmpty) {
+  OpFactory f;
+  OpDesc push1 = f.op(0, Method::kPush, 1);
+  OpDesc pop1 = f.op(0, Method::kPop);
+  OpDesc popE = f.op(2, Method::kPop);
+  History h{
+      Event::inv(push1), Event::res(push1, kTrue),
+      Event::inv(pop1),  Event::res(pop1, 1),
+      Event::inv(popE),  Event::res(popE, kEmpty),
+  };
+  auto spec = make_stack_spec();
+  EXPECT_TRUE(linearizable(*spec, h));
+}
+
+}  // namespace
+}  // namespace selin

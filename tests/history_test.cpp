@@ -1,0 +1,185 @@
+// Unit tests for the history model (Sections 2 and 4): well-formedness,
+// projections, comp(), equivalence, the <_E and ≺_E orders, tight traces.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace selin {
+namespace {
+
+using test::OpFactory;
+
+TEST(WellFormed, EmptyHistoryIsWellFormed) {
+  EXPECT_TRUE(well_formed({}));
+}
+
+TEST(WellFormed, SequentialOps) {
+  OpFactory f;
+  History h;
+  test::seq_op(h, f, 0, Method::kEnqueue, 1, kTrue);
+  test::seq_op(h, f, 0, Method::kDequeue, kNoArg, 1);
+  EXPECT_TRUE(well_formed(h));
+}
+
+TEST(WellFormed, PendingInvocationAllowed) {
+  OpFactory f;
+  History h{Event::inv(f.op(0, Method::kEnqueue, 1))};
+  EXPECT_TRUE(well_formed(h));
+}
+
+TEST(WellFormed, DoubleInvocationRejected) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 1);
+  OpDesc b = f.op(0, Method::kEnqueue, 2);
+  History h{Event::inv(a), Event::inv(b)};
+  std::string why;
+  EXPECT_FALSE(well_formed(h, &why));
+  EXPECT_NE(why.find("pending"), std::string::npos);
+}
+
+TEST(WellFormed, ResponseWithoutInvocationRejected) {
+  OpFactory f;
+  History h{Event::res(f.op(0, Method::kDequeue), kEmpty)};
+  EXPECT_FALSE(well_formed(h));
+}
+
+TEST(WellFormed, MismatchedResponseRejected) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 1);
+  OpDesc b = f.op(0, Method::kEnqueue, 2);
+  History h{Event::inv(a), Event::res(b, kTrue)};
+  EXPECT_FALSE(well_formed(h));
+}
+
+TEST(WellFormed, DuplicateOpIdRejected) {
+  OpDesc a{OpId{0, 0}, Method::kEnqueue, 1};
+  History h{Event::inv(a), Event::res(a, kTrue), Event::inv(a)};
+  EXPECT_FALSE(well_formed(h));
+}
+
+TEST(Comp, RemovesPendingInvocations) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 1);
+  OpDesc b = f.op(1, Method::kDequeue);
+  History h{Event::inv(a), Event::inv(b), Event::res(a, kTrue)};
+  History c = comp(h);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c[0] == Event::inv(a));
+  EXPECT_TRUE(c[1] == Event::res(a, kTrue));
+}
+
+TEST(Project, SelectsProcessEvents) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 1);
+  OpDesc b = f.op(1, Method::kDequeue);
+  History h{Event::inv(a), Event::inv(b), Event::res(b, kEmpty),
+            Event::res(a, kTrue)};
+  History p1 = project(h, 1);
+  ASSERT_EQ(p1.size(), 2u);
+  EXPECT_TRUE(p1[0] == Event::inv(b));
+  EXPECT_TRUE(p1[1] == Event::res(b, kEmpty));
+}
+
+TEST(Equivalence, OrderOfInterleavingIgnored) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 1);
+  OpDesc b = f.op(1, Method::kDequeue);
+  History h1{Event::inv(a), Event::inv(b), Event::res(a, kTrue),
+             Event::res(b, kEmpty)};
+  History h2{Event::inv(b), Event::inv(a), Event::res(b, kEmpty),
+             Event::res(a, kTrue)};
+  EXPECT_TRUE(equivalent(h1, h2));
+}
+
+TEST(Equivalence, DifferentResponsesNotEquivalent) {
+  OpFactory f;
+  OpDesc b = f.op(1, Method::kDequeue);
+  History h1{Event::inv(b), Event::res(b, kEmpty)};
+  History h2{Event::inv(b), Event::res(b, 5)};
+  EXPECT_FALSE(equivalent(h1, h2));
+}
+
+TEST(Sequential, DetectsOverlap) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 1);
+  OpDesc b = f.op(1, Method::kDequeue);
+  History seq{Event::inv(a), Event::res(a, kTrue), Event::inv(b),
+              Event::res(b, kEmpty)};
+  History conc{Event::inv(a), Event::inv(b), Event::res(a, kTrue),
+               Event::res(b, kEmpty)};
+  EXPECT_TRUE(sequential(seq));
+  EXPECT_FALSE(sequential(conc));
+}
+
+TEST(HistoryIndex, RealTimeOrders) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 1);
+  OpDesc b = f.op(1, Method::kDequeue);
+  OpDesc c = f.op(2, Method::kDequeue);
+  // a completes; then b invoked and completes; c pending after b's response.
+  History h{Event::inv(a), Event::res(a, kTrue), Event::inv(b),
+            Event::res(b, 1), Event::inv(c)};
+  HistoryIndex idx(h);
+  EXPECT_TRUE(idx.real_time_before(a.id, b.id));
+  EXPECT_FALSE(idx.real_time_before(b.id, a.id));
+  // <_E relates only complete ops; ≺_E also relates pending ones.
+  EXPECT_FALSE(idx.real_time_before(b.id, c.id));
+  EXPECT_TRUE(idx.precedes(b.id, c.id));
+  EXPECT_FALSE(idx.precedes(c.id, b.id));
+  EXPECT_EQ(idx.complete_count(), 2u);
+  EXPECT_EQ(idx.pending_count(), 1u);
+}
+
+TEST(HistoryIndex, ThrowsOnMalformed) {
+  OpFactory f;
+  History h{Event::res(f.op(0, Method::kDequeue), kEmpty)};
+  EXPECT_THROW(HistoryIndex idx(h), std::invalid_argument);
+}
+
+TEST(TightTrace, ValidatesAndBuilds) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 1);
+  OpDesc b = f.op(1, Method::kDequeue);
+  AStarTrace t{
+      {AStarMark::Kind::kWrite, a, kNoArg},
+      {AStarMark::Kind::kWrite, b, kNoArg},
+      {AStarMark::Kind::kSnap, a, kTrue},
+      {AStarMark::Kind::kSnap, b, 1},
+  };
+  EXPECT_TRUE(valid_trace(t));
+  History h = tight_history(t);
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_TRUE(h[0] == Event::inv(a));
+  EXPECT_TRUE(h[2] == Event::res(a, kTrue));
+  EXPECT_TRUE(well_formed(h));
+}
+
+TEST(TightTrace, RejectsSnapBeforeWrite) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 1);
+  AStarTrace t{{AStarMark::Kind::kSnap, a, kTrue}};
+  EXPECT_FALSE(valid_trace(t));
+}
+
+TEST(TightTrace, RejectsOverlappingOpsOfOneProcess) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 1);
+  OpDesc b = f.op(0, Method::kEnqueue, 2);
+  AStarTrace t{{AStarMark::Kind::kWrite, a, kNoArg},
+               {AStarMark::Kind::kWrite, b, kNoArg}};
+  EXPECT_FALSE(valid_trace(t));
+}
+
+TEST(Format, RendersReadably) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 7);
+  History h{Event::inv(a), Event::res(a, kTrue)};
+  std::string s = format_history(h);
+  EXPECT_NE(s.find("Enqueue"), std::string::npos);
+  EXPECT_NE(s.find("p0"), std::string::npos);
+  std::string il = format_history_inline(h);
+  EXPECT_NE(il.find("res["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace selin

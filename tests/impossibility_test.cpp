@@ -1,0 +1,93 @@
+// Theorem 5.1, mechanically (experiment E3): the executions E and F of the
+// proof are indistinguishable to every process, yet exactly one of them has
+// a linearizable history of A.  Hence no wait-free verifier watching A as a
+// black box can be simultaneously sound and complete — whatever it reports
+// in E it reports in F.
+//
+// Appendix A (Theorem A.1) extends this to predictive verification: F's
+// history can also be produced by a *correct* queue, so ERROR in F cannot be
+// excused by a witness.  We verify that F's history is linearizable — i.e. a
+// correct queue can produce it.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace selin {
+namespace {
+
+class Thm51 : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Thm51, ExecutionsIndistinguishableYetDifferent) {
+  Thm51Scenario s = build_thm51_scenario(/*extra_rounds=*/GetParam());
+
+  // (1) Every process sees identical local sequences in E and F.
+  EXPECT_TRUE(indistinguishable(s.exec_E, s.exec_F));
+
+  // (2) The detected histories (all any verifier can reconstruct from the
+  // shared memory) coincide event for event.
+  History dE = detected_history(s.exec_E);
+  History dF = detected_history(s.exec_F);
+  ASSERT_EQ(dE.size(), dF.size());
+  for (size_t i = 0; i < dE.size(); ++i) {
+    EXPECT_TRUE(dE[i] == dF[i]) << i;
+  }
+
+  // (3) The actual histories differ in the only way that matters.
+  auto spec = make_queue_spec();
+  History aE = actual_history(s.exec_E);
+  History aF = actual_history(s.exec_F);
+  EXPECT_FALSE(linearizable(*spec, aE)) << format_history(aE);
+  EXPECT_TRUE(linearizable(*spec, aF)) << format_history(aF);
+
+  // (4) Every prefix of F's history is linearizable (soundness forbids
+  // ERROR in F at any point), while E's history has a non-linearizable
+  // prefix (completeness demands ERROR in E) — the contradiction.
+  for (size_t cut = 0; cut <= aF.size(); ++cut) {
+    History p(aF.begin(), aF.begin() + static_cast<long>(cut));
+    EXPECT_TRUE(linearizable(*spec, p)) << cut;
+  }
+  bool some_bad_prefix = false;
+  for (size_t cut = 0; cut <= aE.size(); ++cut) {
+    History p(aE.begin(), aE.begin() + static_cast<long>(cut));
+    if (!linearizable(*spec, p)) {
+      some_bad_prefix = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(some_bad_prefix);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, Thm51, ::testing::Values(0, 1, 2, 4));
+
+TEST(Thm51Appendix, FsHistoryProducibleByCorrectQueue) {
+  // Theorem A.1's twist: F could equally have come from a correct queue, so
+  // a predictive verifier cannot even excuse a false ERROR with a witness.
+  // Mechanically: F's actual history is linearizable, i.e. inside the
+  // abstract object of the correct queue.
+  Thm51Scenario s = build_thm51_scenario(1);
+  auto obj = make_linearizable_object(make_queue_spec());
+  EXPECT_TRUE(obj->contains(actual_history(s.exec_F)));
+}
+
+TEST(Thm51, DetectedHistoryIsLinearizableInBoth) {
+  // The stretched detected history masks the violation — the verifier's
+  // information is consistent with a correct A in both executions.
+  Thm51Scenario s = build_thm51_scenario(2);
+  auto spec = make_queue_spec();
+  EXPECT_TRUE(linearizable(*spec, detected_history(s.exec_E)));
+  EXPECT_TRUE(linearizable(*spec, detected_history(s.exec_F)));
+}
+
+TEST(Thm51, LocalViewExtraction) {
+  Thm51Scenario s = build_thm51_scenario(0);
+  auto v0 = local_view(s.exec_E, 0);
+  auto v1 = local_view(s.exec_E, 1);
+  ASSERT_EQ(v0.size(), 4u);  // announce, invoke, respond, record
+  ASSERT_EQ(v1.size(), 4u);
+  EXPECT_EQ(v0[0].kind, VerifierEvent::Kind::kAnnounce);
+  EXPECT_EQ(v1[3].kind, VerifierEvent::Kind::kRecord);
+  EXPECT_EQ(v1[2].y, 1);  // the lie
+}
+
+}  // namespace
+}  // namespace selin

@@ -1,0 +1,132 @@
+// Similarity (Definition 7.1) and the GenLin closure properties
+// (Definition 7.2, Lemma 7.1): linearizability is closed under prefixes and
+// under similarity.  The property tests sweep random linearizable histories
+// across object families and verify both closure directions mechanically.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace selin {
+namespace {
+
+using test::OpFactory;
+
+TEST(Similarity, IdenticalHistoriesAreSimilar) {
+  OpFactory f;
+  History h;
+  test::seq_op(h, f, 0, Method::kEnqueue, 1, kTrue);
+  EXPECT_TRUE(similar_to(h, h));
+}
+
+TEST(Similarity, PendingOpMayGainResponse) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 1);
+  History e{Event::inv(a)};                          // pending in E
+  History g{Event::inv(a), Event::res(a, kTrue)};    // complete in F
+  EXPECT_TRUE(similar_to(e, g));
+}
+
+TEST(Similarity, PendingOpMayBeRemoved) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 1);
+  OpDesc b = f.op(1, Method::kDequeue);
+  History e{Event::inv(a), Event::res(a, kTrue), Event::inv(b)};
+  History g{Event::inv(a), Event::res(a, kTrue)};  // b dropped
+  EXPECT_TRUE(similar_to(e, g));
+}
+
+TEST(Similarity, CompleteOpCannotDisappear) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 1);
+  History e{Event::inv(a), Event::res(a, kTrue)};
+  History g{};
+  EXPECT_FALSE(similar_to(e, g));
+}
+
+TEST(Similarity, PrecedenceMustBePreserved) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kEnqueue, 1);
+  OpDesc b = f.op(1, Method::kDequeue);
+  // In E, a precedes b; in F they are concurrent — ≺_E ⊄ ≺_F is REQUIRED to
+  // go the other way: similarity demands ≺_{E'} ⊆ ≺_F, so E (sequential) is
+  // NOT similar to F (concurrent)?  It is not: a ≺_E b but not a ≺_F b.
+  History e{Event::inv(a), Event::res(a, kTrue), Event::inv(b),
+            Event::res(b, 1)};
+  History g{Event::inv(a), Event::inv(b), Event::res(a, kTrue),
+            Event::res(b, 1)};
+  EXPECT_FALSE(similar_to(e, g));
+  // The concurrent history IS similar to the sequential one (shrinking
+  // relations is allowed in that direction: ≺_F ⊆ ≺_E trivially holds for
+  // the pairs F relates... precisely, F similar to E).
+  EXPECT_TRUE(similar_to(g, e));
+}
+
+TEST(Similarity, DifferentResultsNotSimilar) {
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kDequeue);
+  History e{Event::inv(a), Event::res(a, 1)};
+  History g{Event::inv(a), Event::res(a, 2)};
+  EXPECT_FALSE(similar_to(e, g));
+}
+
+// ---- Lemma 7.1 property tests --------------------------------------------
+
+struct ClosureParams {
+  ObjectKind kind;
+  uint64_t seed;
+};
+
+class GenLinClosure : public ::testing::TestWithParam<ClosureParams> {};
+
+// (1) Prefix closure: every prefix of a linearizable history is linearizable.
+TEST_P(GenLinClosure, PrefixClosed) {
+  auto [kind, seed] = GetParam();
+  auto spec = make_spec(kind);
+  History h = test::random_linearizable_history(kind, 3, 8, seed);
+  ASSERT_TRUE(linearizable(*spec, h)) << format_history(h);
+  for (size_t cut = 0; cut <= h.size(); ++cut) {
+    History prefix(h.begin(), h.begin() + static_cast<long>(cut));
+    EXPECT_TRUE(linearizable(*spec, prefix))
+        << "prefix of length " << cut << " of:\n"
+        << format_history(h);
+  }
+}
+
+// (2) Similarity closure: histories similar to a linearizable history are
+// linearizable.  We construct similar histories by dropping responses
+// (making ops pending) — the inverse of "appending responses", so the
+// truncated history is similar to the original by Definition 7.1.
+TEST_P(GenLinClosure, SimilarityClosed) {
+  auto [kind, seed] = GetParam();
+  auto spec = make_spec(kind);
+  History h = test::random_linearizable_history(kind, 3, 8, seed);
+  ASSERT_TRUE(linearizable(*spec, h));
+  // Drop the last response event.
+  for (size_t i = h.size(); i-- > 0;) {
+    if (h[i].is_res()) {
+      History e(h);
+      e.erase(e.begin() + static_cast<long>(i));
+      ASSERT_TRUE(well_formed(e));
+      EXPECT_TRUE(similar_to(e, h)) << format_history(e);
+      EXPECT_TRUE(linearizable(*spec, e)) << format_history(e);
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GenLinClosure,
+    ::testing::Values(
+        ClosureParams{ObjectKind::kQueue, 1}, ClosureParams{ObjectKind::kQueue, 2},
+        ClosureParams{ObjectKind::kQueue, 3}, ClosureParams{ObjectKind::kStack, 4},
+        ClosureParams{ObjectKind::kStack, 5}, ClosureParams{ObjectKind::kSet, 6},
+        ClosureParams{ObjectKind::kSet, 7}, ClosureParams{ObjectKind::kPqueue, 8},
+        ClosureParams{ObjectKind::kCounter, 9},
+        ClosureParams{ObjectKind::kRegister, 10},
+        ClosureParams{ObjectKind::kConsensus, 11},
+        ClosureParams{ObjectKind::kQueue, 12}, ClosureParams{ObjectKind::kStack, 13},
+        ClosureParams{ObjectKind::kCounter, 14},
+        ClosureParams{ObjectKind::kRegister, 15}));
+
+}  // namespace
+}  // namespace selin

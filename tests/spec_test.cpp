@@ -1,0 +1,133 @@
+// Unit tests for every sequential specification (Definition 4.1) and the
+// sequential-history validator.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace selin {
+namespace {
+
+TEST(QueueSpec, Fifo) {
+  auto s = make_queue_spec()->initial();
+  EXPECT_EQ(s->step(Method::kEnqueue, 1), kTrue);
+  EXPECT_EQ(s->step(Method::kEnqueue, 2), kTrue);
+  EXPECT_EQ(s->step(Method::kDequeue, kNoArg), 1);
+  EXPECT_EQ(s->step(Method::kDequeue, kNoArg), 2);
+  EXPECT_EQ(s->step(Method::kDequeue, kNoArg), kEmpty);
+}
+
+TEST(QueueSpec, CloneIsIndependent) {
+  auto s = make_queue_spec()->initial();
+  s->step(Method::kEnqueue, 1);
+  auto c = s->clone();
+  EXPECT_EQ(c->step(Method::kDequeue, kNoArg), 1);
+  EXPECT_NE(s->encode(), c->encode());  // clone drained, original not
+  EXPECT_EQ(s->step(Method::kDequeue, kNoArg), 1);  // original unaffected
+  EXPECT_EQ(s->encode(), c->encode());  // both empty now
+}
+
+TEST(QueueSpec, EncodeDistinguishesOrder) {
+  auto a = make_queue_spec()->initial();
+  auto b = make_queue_spec()->initial();
+  a->step(Method::kEnqueue, 1);
+  a->step(Method::kEnqueue, 2);
+  b->step(Method::kEnqueue, 2);
+  b->step(Method::kEnqueue, 1);
+  EXPECT_NE(a->encode(), b->encode());
+}
+
+TEST(StackSpec, Lifo) {
+  auto s = make_stack_spec()->initial();
+  EXPECT_EQ(s->step(Method::kPush, 1), kTrue);
+  EXPECT_EQ(s->step(Method::kPush, 2), kTrue);
+  EXPECT_EQ(s->step(Method::kPop, kNoArg), 2);
+  EXPECT_EQ(s->step(Method::kPop, kNoArg), 1);
+  EXPECT_EQ(s->step(Method::kPop, kNoArg), kEmpty);
+}
+
+TEST(SetSpec, InsertRemoveContains) {
+  auto s = make_set_spec()->initial();
+  EXPECT_EQ(s->step(Method::kContains, 5), kFalse);
+  EXPECT_EQ(s->step(Method::kInsert, 5), kTrue);
+  EXPECT_EQ(s->step(Method::kInsert, 5), kFalse);  // already present
+  EXPECT_EQ(s->step(Method::kContains, 5), kTrue);
+  EXPECT_EQ(s->step(Method::kRemove, 5), kTrue);
+  EXPECT_EQ(s->step(Method::kRemove, 5), kFalse);
+  EXPECT_EQ(s->step(Method::kContains, 5), kFalse);
+}
+
+TEST(PqueueSpec, ExtractsMinWithDuplicates) {
+  auto s = make_pqueue_spec()->initial();
+  s->step(Method::kPqInsert, 5);
+  s->step(Method::kPqInsert, 3);
+  s->step(Method::kPqInsert, 5);
+  EXPECT_EQ(s->step(Method::kPqExtractMin, kNoArg), 3);
+  EXPECT_EQ(s->step(Method::kPqExtractMin, kNoArg), 5);
+  EXPECT_EQ(s->step(Method::kPqExtractMin, kNoArg), 5);
+  EXPECT_EQ(s->step(Method::kPqExtractMin, kNoArg), kEmpty);
+}
+
+TEST(CounterSpec, IncReturnsNewValue) {
+  auto s = make_counter_spec()->initial();
+  EXPECT_EQ(s->step(Method::kCounterRead, kNoArg), 0);
+  EXPECT_EQ(s->step(Method::kInc, kNoArg), 1);
+  EXPECT_EQ(s->step(Method::kInc, kNoArg), 2);
+  EXPECT_EQ(s->step(Method::kCounterRead, kNoArg), 2);
+}
+
+TEST(RegisterSpec, ReadsLastWrite) {
+  auto s = make_register_spec(42)->initial();
+  EXPECT_EQ(s->step(Method::kRead, kNoArg), 42);
+  EXPECT_EQ(s->step(Method::kWrite, 7), kOk);
+  EXPECT_EQ(s->step(Method::kRead, kNoArg), 7);
+}
+
+TEST(ConsensusSpec, FirstDecideWins) {
+  auto s = make_consensus_spec()->initial();
+  EXPECT_EQ(s->step(Method::kDecide, 9), 9);
+  EXPECT_EQ(s->step(Method::kDecide, 4), 9);  // decision already fixed
+  EXPECT_EQ(s->step(Method::kDecide, 9), 9);
+}
+
+TEST(Specs, ForeignMethodNeverMatches) {
+  // Feeding a queue method to a stack state yields kError, which no observed
+  // response equals — the checker then rejects mixed-object histories.
+  auto s = make_stack_spec()->initial();
+  EXPECT_EQ(s->step(Method::kEnqueue, 1), kError);
+}
+
+TEST(SeqHistoryValid, AcceptsAndRejects) {
+  test::OpFactory f;
+  auto spec = make_queue_spec();
+  History good;
+  test::seq_op(good, f, 0, Method::kEnqueue, 1, kTrue);
+  test::seq_op(good, f, 1, Method::kDequeue, kNoArg, 1);
+  EXPECT_TRUE(seq_history_valid(*spec, good));
+
+  test::OpFactory f2;
+  History bad;
+  test::seq_op(bad, f2, 0, Method::kDequeue, kNoArg, 1);  // nothing enqueued
+  EXPECT_FALSE(seq_history_valid(*spec, bad));
+
+  // Non-sequential histories are rejected outright.
+  OpDesc a = f2.op(0, Method::kEnqueue, 1);
+  OpDesc b = f2.op(1, Method::kEnqueue, 2);
+  History concurrent{Event::inv(a), Event::inv(b), Event::res(a, kTrue),
+                     Event::res(b, kTrue)};
+  EXPECT_FALSE(seq_history_valid(*spec, concurrent));
+}
+
+TEST(GenLinObject, ContainsMatchesMonitor) {
+  auto obj = make_linearizable_object(make_queue_spec());
+  EXPECT_STREQ(obj->name(), "queue");
+  test::OpFactory f;
+  History h;
+  test::seq_op(h, f, 0, Method::kEnqueue, 3, kTrue);
+  test::seq_op(h, f, 1, Method::kDequeue, kNoArg, 3);
+  EXPECT_TRUE(obj->contains(h));
+  test::seq_op(h, f, 1, Method::kDequeue, kNoArg, 3);  // dequeue twice
+  EXPECT_FALSE(obj->contains(h));
+}
+
+}  // namespace
+}  // namespace selin

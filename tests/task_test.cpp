@@ -1,0 +1,110 @@
+// The write-snapshot task object (Section 9.3): one-shot, interval-
+// linearizable, no sequential specification — GenLin strictly beyond
+// linearizability.  Outputs are bitmasks over process ids.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace selin {
+namespace {
+
+using test::OpFactory;
+
+Value mask(std::initializer_list<ProcId> pids) {
+  uint64_t m = 0;
+  for (ProcId p : pids) m |= 1ULL << p;
+  return static_cast<Value>(m);
+}
+
+TEST(WriteSnapshot, SoloRunSeesItself) {
+  auto obj = make_write_snapshot_object(3);
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kWriteSnap, 10);
+  History h{Event::inv(a), Event::res(a, mask({0}))};
+  EXPECT_TRUE(obj->contains(h));
+}
+
+TEST(WriteSnapshot, SelfInclusionViolated) {
+  auto obj = make_write_snapshot_object(3);
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kWriteSnap, 10);
+  History h{Event::inv(a), Event::res(a, mask({1}))};
+  EXPECT_FALSE(obj->contains(h));
+}
+
+TEST(WriteSnapshot, ComparableOutputsAccepted) {
+  auto obj = make_write_snapshot_object(3);
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kWriteSnap, 10);
+  OpDesc b = f.op(1, Method::kWriteSnap, 20);
+  History h{Event::inv(a), Event::inv(b), Event::res(a, mask({0})),
+            Event::res(b, mask({0, 1}))};
+  EXPECT_TRUE(obj->contains(h));
+}
+
+TEST(WriteSnapshot, IncomparableOutputsRejected) {
+  auto obj = make_write_snapshot_object(3);
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kWriteSnap, 10);
+  OpDesc b = f.op(1, Method::kWriteSnap, 20);
+  // {0} and {1} are incomparable — forbidden even for concurrent ops.
+  History h{Event::inv(a), Event::inv(b), Event::res(a, mask({0})),
+            Event::res(b, mask({1}))};
+  EXPECT_FALSE(obj->contains(h));
+}
+
+TEST(WriteSnapshot, RealTimeContainmentEnforced) {
+  auto obj = make_write_snapshot_object(3);
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kWriteSnap, 10);
+  OpDesc b = f.op(1, Method::kWriteSnap, 20);
+  // a completes before b starts, but b's snapshot misses a: the solo-run
+  // violation of Section 10, detectable only through real-time order.
+  History h{Event::inv(a), Event::res(a, mask({0})), Event::inv(b),
+            Event::res(b, mask({1}))};
+  EXPECT_FALSE(obj->contains(h));
+  // With containment honored it passes.
+  History good{Event::inv(a), Event::res(a, mask({0})), Event::inv(b),
+               Event::res(b, mask({0, 1}))};
+  EXPECT_TRUE(obj->contains(good));
+}
+
+TEST(WriteSnapshot, OneShotViolationRejected) {
+  auto obj = make_write_snapshot_object(3);
+  OpFactory f;
+  OpDesc a1 = f.op(0, Method::kWriteSnap, 10);
+  OpDesc a2 = f.op(0, Method::kWriteSnap, 11);
+  History h{Event::inv(a1), Event::res(a1, mask({0})), Event::inv(a2),
+            Event::res(a2, mask({0}))};
+  EXPECT_FALSE(obj->contains(h));
+}
+
+TEST(WriteSnapshot, ThreeProcessChain) {
+  auto obj = make_write_snapshot_object(3);
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kWriteSnap, 1);
+  OpDesc b = f.op(1, Method::kWriteSnap, 2);
+  OpDesc c = f.op(2, Method::kWriteSnap, 3);
+  History h{Event::inv(a), Event::inv(b),
+            Event::res(a, mask({0, 1})), Event::res(b, mask({0, 1})),
+            Event::inv(c), Event::res(c, mask({0, 1, 2}))};
+  EXPECT_TRUE(obj->contains(h));
+}
+
+TEST(WriteSnapshot, MonitorIsIncremental) {
+  auto obj = make_write_snapshot_object(2);
+  auto m = obj->monitor();
+  OpFactory f;
+  OpDesc a = f.op(0, Method::kWriteSnap, 1);
+  m->feed(Event::inv(a));
+  EXPECT_TRUE(m->ok());
+  auto fork = m->clone();
+  m->feed(Event::res(a, mask({0})));
+  EXPECT_TRUE(m->ok());
+  fork->feed(Event::res(a, mask({1})));  // bad in the fork only
+  EXPECT_FALSE(fork->ok());
+  EXPECT_TRUE(m->ok());
+}
+
+}  // namespace
+}  // namespace selin

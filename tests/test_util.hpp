@@ -1,0 +1,117 @@
+// Shared helpers for the selin test-suite: a small history-building DSL and
+// seeded random-history generators used by the property tests.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "selin/selin.hpp"
+
+namespace selin::test {
+
+/// Builds OpDescs with automatic per-process sequence numbers.
+class OpFactory {
+ public:
+  OpDesc op(ProcId p, Method m, Value arg = kNoArg) {
+    if (p >= next_.size()) next_.resize(p + 1, 0);
+    return OpDesc{OpId{p, next_[p]++}, m, arg};
+  }
+
+ private:
+  std::vector<uint32_t> next_;
+};
+
+/// A complete operation as one inv+res pair appended to `h` (sequential
+/// convenience for spec-level tests).
+inline void seq_op(History& h, OpFactory& f, ProcId p, Method m, Value arg,
+                   Value res) {
+  OpDesc d = f.op(p, m, arg);
+  h.push_back(Event::inv(d));
+  h.push_back(Event::res(d, res));
+}
+
+/// Generates a random *linearizable* history of `ops` complete operations on
+/// `n` processes: operations are invoked, linearized (applying the spec at
+/// the linearization point) and responded at independently random times, so
+/// the histories have rich overlap structure but are linearizable by
+/// construction.
+inline History random_linearizable_history(ObjectKind kind, size_t n,
+                                           size_t ops, uint64_t seed) {
+  Rng rng(seed);
+  auto spec = make_spec(kind);
+  auto state = spec->initial();
+  History h;
+  struct Pending {
+    OpDesc op;
+    bool linearized = false;
+    Value result = kNoArg;
+  };
+  std::vector<std::vector<Pending>> pend(n);  // at most 1 per proc
+  std::vector<uint32_t> seq(n, 0);
+  size_t invoked = 0;
+
+  auto idle_procs = [&] {
+    std::vector<ProcId> v;
+    for (ProcId p = 0; p < n; ++p) {
+      if (pend[p].empty() && invoked < ops) v.push_back(p);
+    }
+    return v;
+  };
+
+  while (true) {
+    std::vector<ProcId> idle = idle_procs();
+    std::vector<ProcId> lin, resp;
+    for (ProcId p = 0; p < n; ++p) {
+      if (!pend[p].empty()) {
+        if (!pend[p][0].linearized) lin.push_back(p);
+        else resp.push_back(p);
+      }
+    }
+    if (idle.empty() && lin.empty() && resp.empty()) break;
+    // Linearize/respond actions are weighted 2x: unbounded overlap windows
+    // make membership checking exponential (it is NP-hard), and real
+    // wait-free executions complete operations promptly.
+    uint64_t total = idle.size() + 2 * (lin.size() + resp.size());
+    uint64_t pick = rng.below(total);
+    if (pick >= idle.size()) {
+      pick = idle.size() + (pick - idle.size()) / 2;
+    }
+    if (pick < idle.size()) {
+      ProcId p = idle[pick];
+      auto [m, arg] = random_op(kind, rng);
+      OpDesc d{OpId{p, seq[p]++}, m, arg};
+      pend[p].push_back(Pending{d});
+      h.push_back(Event::inv(d));
+      ++invoked;
+    } else if (pick < idle.size() + lin.size()) {
+      ProcId p = lin[pick - idle.size()];
+      Pending& pd = pend[p][0];
+      pd.result = state->step(pd.op.method, pd.op.arg);
+      pd.linearized = true;
+    } else {
+      ProcId p = resp[pick - idle.size() - lin.size()];
+      Pending pd = pend[p][0];
+      pend[p].clear();
+      h.push_back(Event::res(pd.op, pd.result));
+    }
+  }
+  return h;
+}
+
+/// Corrupts one random response value of `h` (returns false if there is no
+/// response to corrupt).  The result is usually non-linearizable — tests
+/// must still consult an oracle for the expected verdict.
+inline bool corrupt_response(History& h, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> res_idx;
+  for (size_t i = 0; i < h.size(); ++i) {
+    if (h[i].is_res()) res_idx.push_back(i);
+  }
+  if (res_idx.empty()) return false;
+  size_t i = res_idx[rng.below(res_idx.size())];
+  Value& v = h[i].result;
+  v = (v == kEmpty) ? 777 : (v == kTrue ? kEmpty : v + 13);
+  return true;
+}
+
+}  // namespace selin::test
