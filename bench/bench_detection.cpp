@@ -38,6 +38,44 @@ const char* fault_name(int64_t which) {
   }
 }
 
+// Throughput facet: per-operation cost of the coupled verification loop on a
+// *correct* implementation.  Detection latency (below) is dominated by the
+// seeded fault schedule and thread startup; this facet isolates what each
+// verified operation actually costs — publish the λ-record, snapshot M,
+// re-test membership — which is the hot path the fingerprinted configuration
+// engine optimizes.  The monitor restarts every 384 ops to bound history
+// growth, mirroring the sketch-level restarts of production deployments.
+void BM_VerificationThroughput(benchmark::State& state) {
+  StepCounter::set_enabled(false);
+  bool queue = state.range(0) == 0;
+  ObjectKind kind = queue ? ObjectKind::kQueue : ObjectKind::kCounter;
+  constexpr size_t kProcs = 3;
+  constexpr int kOpsPerRun = 384;
+  Rng rng(17);
+  auto impl = queue ? make_ms_queue() : make_atomic_counter();
+  auto obj = make_linearizable_object(make_spec(kind));
+  auto se = std::make_unique<SelfEnforced>(kProcs, *impl, *obj);
+  int i = 0;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    if (i == kOpsPerRun) {
+      state.PauseTiming();
+      impl = queue ? make_ms_queue() : make_atomic_counter();
+      se = std::make_unique<SelfEnforced>(kProcs, *impl, *obj);
+      i = 0;
+      state.ResumeTiming();
+    }
+    auto [m, arg] = random_op(kind, rng);
+    se.get()->apply(static_cast<ProcId>(i % kProcs), m, arg);
+    ++i;
+    ++ops;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+  state.SetLabel(queue ? "verified-queue" : "verified-counter");
+}
+
+BENCHMARK(BM_VerificationThroughput)->Arg(0)->Arg(1);
+
 // Coupled: each process checks after each op; count ops until first ERROR.
 void BM_DetectionLatencyCoupled(benchmark::State& state) {
   StepCounter::set_enabled(false);

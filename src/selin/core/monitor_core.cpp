@@ -56,7 +56,8 @@ bool MonitorCore::check(size_t checker) {
     const RecNode* old = cs.seen[j];
     uint32_t old_len = old == nullptr ? 0 : old->len;
     // Collect the new records oldest-first (chains link newest→oldest).
-    std::vector<const RecNode*> fresh;
+    std::vector<const RecNode*>& fresh = cs.fresh_scratch;
+    fresh.clear();
     for (const RecNode* n = h; n != nullptr && n->len > old_len; n = n->next) {
       fresh.push_back(n);
     }

@@ -63,6 +63,7 @@ class MonitorCore {
   };
   struct alignas(64) CheckerSlot {
     std::vector<const RecNode*> seen;  // last merged head per producer
+    std::vector<const RecNode*> fresh_scratch;  // reused across check() calls
     XBuilder builder;
     std::unique_ptr<LeveledChecker> checker;
   };

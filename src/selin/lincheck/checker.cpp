@@ -1,14 +1,11 @@
 #include "selin/lincheck/checker.hpp"
 
-#include <deque>
-#include <unordered_map>
-#include <unordered_set>
-
 #include "selin/lincheck/config.hpp"
 
 namespace selin {
 
 using lincheck::Config;
+using lincheck::DedupEngine;
 
 // ---------------------------------------------------------------------------
 // LinMonitor
@@ -20,6 +17,8 @@ struct LinMonitor::Impl {
   bool ok = true;
   std::vector<Config> frontier;
   std::vector<OpDesc> open;  // invoked, response not yet fed
+
+  DedupEngine eng;
 
   Impl(const SeqSpec& s, size_t cap) : spec(&s), max_configs(cap) {
     Config c;
@@ -35,27 +34,25 @@ struct LinMonitor::Impl {
 
   // All configurations reachable from `frontier` by linearizing any sequence
   // of open, not-yet-linearized operations (BFS with dedup).
-  std::vector<Config> closure() const {
+  std::vector<Config> closure() {
+    eng.seen.clear();
     std::vector<Config> result;
-    std::unordered_set<std::string> seen;
-    std::deque<const Config*> work;
+    result.reserve(frontier.size() * 2);
     for (const Config& c : frontier) {
-      std::string k = c.key();
-      if (seen.insert(std::move(k)).second) {
-        result.push_back(c.clone());
-      }
+      if (eng.probe(eng.seen, c)) result.push_back(c.clone_with(eng.pool));
     }
     // Index-based BFS (result may reallocate).
     for (size_t i = 0; i < result.size(); ++i) {
       for (const OpDesc& od : open) {
         if (result[i].find(od.id) != nullptr) continue;
-        Config next = result[i].clone();
+        Config next = result[i].clone_with(eng.pool);
         Value assigned = next.state->step(od.method, od.arg);
         next.add(od.id, assigned);
-        std::string k = next.key();
-        if (seen.insert(std::move(k)).second) {
+        if (eng.probe(eng.seen, next)) {
           if (result.size() >= max_configs) throw CheckerOverflow{};
           result.push_back(std::move(next));
+        } else {
+          eng.pool.release(std::move(next.state));
         }
       }
     }
@@ -72,20 +69,29 @@ struct LinMonitor::Impl {
     // must have linearized e.op with exactly that result.
     std::vector<Config> expanded = closure();
     std::vector<Config> filtered;
-    std::unordered_set<std::string> seen;
+    filtered.reserve(expanded.size());
+    eng.filter_seen.clear();
     for (Config& c : expanded) {
       const lincheck::LinearizedOp* l = c.find(e.op.id);
-      if (l == nullptr || l->assigned != e.result) continue;
+      if (l == nullptr || l->assigned != e.result) {
+        eng.pool.release(std::move(c.state));
+        continue;
+      }
       c.remove(e.op.id);
-      std::string k = c.key();
-      if (seen.insert(std::move(k)).second) filtered.push_back(std::move(c));
+      if (eng.probe(eng.filter_seen, c)) {
+        filtered.push_back(std::move(c));
+      } else {
+        eng.pool.release(std::move(c.state));
+      }
     }
     for (size_t i = 0; i < open.size(); ++i) {
       if (open[i].id == e.op.id) {
-        open.erase(open.begin() + i);
+        open[i] = open.back();  // order is irrelevant: swap-erase, not shift
+        open.pop_back();
         break;
       }
     }
+    for (Config& c : frontier) eng.pool.release(std::move(c.state));
     frontier = std::move(filtered);
     if (frontier.empty()) ok = false;
   }
@@ -125,26 +131,25 @@ namespace {
 struct DfsCtx {
   const SeqSpec* spec;
   const History* h;
-  std::vector<OpDesc> all_ops;                      // by first appearance
-  std::unordered_map<uint64_t, Value> responses;    // op -> observed result
-  std::unordered_set<std::string> failed;           // memo of dead states
+  DedupEngine eng;
+  FpSet failed{eng.arena};  // memo of dead (event index, config) states
   size_t max_visited;
   size_t visited = 0;
 
   // The linearization order: (op, result assigned by the machine).
   std::vector<std::pair<OpDesc, Value>> order;
 
-  std::string memo_key(size_t idx, const Config& c) const {
-    std::ostringstream os;
-    os << idx << "#" << c.key();
-    return os.str();
+  uint64_t memo_fp(size_t idx, const Config& c) {
+    uint64_t fp = fph::mix(c.fingerprint() ^ fph::mix(idx));
+    eng.audit(fp, [&] { return std::to_string(idx) + "#" + c.key(); });
+    return fp;
   }
 
   bool dfs(size_t idx, Config& c, std::vector<OpDesc>& open) {
     if (++visited > max_visited) throw CheckerOverflow{};
     if (idx == h->size()) return true;
-    std::string key = memo_key(idx, c);
-    if (failed.count(key) != 0) return false;
+    uint64_t key = memo_fp(idx, c);
+    if (failed.contains(key)) return false;
 
     const Event& e = (*h)[idx];
     bool found = false;
@@ -156,22 +161,27 @@ struct DfsCtx {
       const lincheck::LinearizedOp* l = c.find(e.op.id);
       if (l != nullptr) {
         if (l->assigned == e.result) {
-          Config next = c.clone();
+          Config next = c.clone_with(eng.pool);
           next.remove(e.op.id);
           std::vector<OpDesc> next_open;
+          next_open.reserve(open.size());
           for (const OpDesc& od : open) {
             if (od.id != e.op.id) next_open.push_back(od);
           }
           found = dfs(idx + 1, next, next_open);
           if (found) {
+            eng.pool.release(std::move(c.state));
             c = std::move(next);
             open = std::move(next_open);
+          } else {
+            eng.pool.release(std::move(next.state));
           }
         }
       } else {
         // Must linearize some open op now; try each (preferring e.op, which
         // prunes fastest when it matches immediately).
         std::vector<size_t> cand;
+        cand.reserve(open.size());
         for (size_t i = 0; i < open.size(); ++i) {
           if (c.find(open[i].id) == nullptr) {
             if (open[i].id == e.op.id) cand.insert(cand.begin(), i);
@@ -179,22 +189,27 @@ struct DfsCtx {
           }
         }
         for (size_t i : cand) {
-          Config next = c.clone();
+          Config next = c.clone_with(eng.pool);
           Value assigned = next.state->step(open[i].method, open[i].arg);
-          if (open[i].id == e.op.id && assigned != e.result) continue;
+          if (open[i].id == e.op.id && assigned != e.result) {
+            eng.pool.release(std::move(next.state));
+            continue;
+          }
           next.add(open[i].id, assigned);
           size_t order_mark = order.size();
           order.emplace_back(open[i], assigned);
           if (dfs(idx, next, open)) {  // same event, new machine state
+            eng.pool.release(std::move(c.state));
             c = std::move(next);
             found = true;
             break;
           }
+          eng.pool.release(std::move(next.state));
           order.resize(order_mark);
         }
       }
     }
-    if (!found) failed.insert(std::move(key));
+    if (!found) failed.insert(key);
     return found;
   }
 };

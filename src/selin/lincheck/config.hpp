@@ -3,16 +3,37 @@
 // A configuration pairs a sequential-machine state with the multimap of
 // operations that have been *linearized but not yet responded*, together with
 // the result the machine assigned to each.  Two configurations are equal iff
-// their canonical keys are equal; the frontier deduplicates on the key.
+// their canonical keys are equal; the frontier deduplicates on a 64-bit
+// fingerprint of that key (state fingerprint XOR an incrementally maintained
+// Zobrist hash of the linearized-op set — see util/hash.hpp for the collision
+// discipline).  key() remains the ground truth and backs the debug-mode
+// collision audit.
 #pragma once
 
 #include <algorithm>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "selin/spec/spec.hpp"
+#include "selin/util/arena.hpp"
+#include "selin/util/fp_set.hpp"
+#include "selin/util/hash.hpp"
+#include "selin/util/small_vec.hpp"
+
+// Fingerprint collision audit: every dedup probe is cross-checked against
+// the canonical string key.  On by default in debug builds; force with
+// -DSELIN_FP_AUDIT=1 (CMake option SELIN_FP_AUDIT).
+#ifndef SELIN_FP_AUDIT
+#ifdef NDEBUG
+#define SELIN_FP_AUDIT 0
+#else
+#define SELIN_FP_AUDIT 1
+#endif
+#endif
 
 namespace selin::lincheck {
 
@@ -25,18 +46,65 @@ struct LinearizedOp {
   }
 };
 
+/// Recycler for SeqState clones.  Configurations are created and discarded
+/// in bulk during closure expansion; pooling the discarded states and
+/// refilling them via SeqState::assign_from reuses both the state object and
+/// its internal container capacity, so steady-state expansion allocates
+/// nothing.  States in one pool must come from a single spec (one dynamic
+/// type); specs that do not implement assign_from silently degrade to
+/// clone().
+class StatePool {
+ public:
+  /// A state equal to `src` — recycled if possible, freshly cloned if not.
+  std::unique_ptr<SeqState> acquire(const SeqState& src) {
+    if (!free_.empty()) {
+      std::unique_ptr<SeqState> s = std::move(free_.back());
+      free_.pop_back();
+      if (s->assign_from(src)) return s;
+      disabled_ = true;  // spec does not support recycling
+      free_.clear();
+    }
+    return src.clone();
+  }
+
+  void release(std::unique_ptr<SeqState> s) {
+    if (!disabled_ && s != nullptr && free_.size() < kMaxPooled) {
+      free_.push_back(std::move(s));
+    }
+  }
+
+ private:
+  static constexpr size_t kMaxPooled = 4096;
+  bool disabled_ = false;
+  std::vector<std::unique_ptr<SeqState>> free_;
+};
+
 struct Config {
   std::unique_ptr<SeqState> state;
-  std::vector<LinearizedOp> linearized;  // kept sorted by OpId
+  SmallVec<LinearizedOp, 8> linearized;  // kept sorted by OpId
+  uint64_t lin_hash = 0;  // XOR of fph::lin_op over `linearized`
 
   Config clone() const {
     Config c;
     c.state = state->clone();
     c.linearized = linearized;
+    c.lin_hash = lin_hash;
     return c;
   }
 
-  /// Canonical deduplication key.
+  /// clone() through a recycling pool (the checkers' hot path).
+  Config clone_with(StatePool& pool) const {
+    Config c;
+    c.state = pool.acquire(*state);
+    c.linearized = linearized;
+    c.lin_hash = lin_hash;
+    return c;
+  }
+
+  /// 64-bit deduplication fingerprint; equal keys have equal fingerprints.
+  uint64_t fingerprint() const { return state->fingerprint() ^ lin_hash; }
+
+  /// Canonical deduplication key (ground truth; audit + diagnostics only).
   std::string key() const {
     std::ostringstream os;
     os << state->encode() << "|";
@@ -56,14 +124,80 @@ struct Config {
   void add(OpId id, Value assigned) {
     auto it = std::lower_bound(linearized.begin(), linearized.end(),
                                LinearizedOp{id, 0});
-    linearized.insert(it, LinearizedOp{id, assigned});
+    linearized.insert_at(static_cast<size_t>(it - linearized.begin()),
+                         LinearizedOp{id, assigned});
+    lin_hash ^= fph::lin_op(id.packed(), assigned);
   }
 
   void remove(OpId id) {
     auto it = std::lower_bound(linearized.begin(), linearized.end(),
                                LinearizedOp{id, 0});
-    if (it != linearized.end() && it->id == id) linearized.erase(it);
+    if (it != linearized.end() && it->id == id) {
+      lin_hash ^= fph::lin_op(id.packed(), it->assigned);
+      linearized.erase_at(static_cast<size_t>(it - linearized.begin()));
+    }
   }
+};
+
+/// Debug-mode collision audit: records the canonical key first seen for each
+/// fingerprint and flags any later fingerprint whose key differs.  The
+/// mapping fingerprint→key is global to a checker's lifetime (the same
+/// configuration always produces the same key), so one guard can audit every
+/// dedup set a checker owns.  Memory is bounded: past kMaxEntries distinct
+/// fingerprints the map is reset, which narrows detection to collisions
+/// within a window but keeps audit builds memory-stable on long histories.
+class CollisionGuard {
+ public:
+  /// True iff `fp` is consistent (new, or previously recorded with the same
+  /// key).  False signals a genuine 64-bit collision.
+  bool check(uint64_t fp, const std::string& key) {
+    if (keys_.size() >= kMaxEntries) keys_.clear();
+    auto [it, fresh] = keys_.try_emplace(fp, key);
+    return fresh || it->second == key;
+  }
+
+  size_t distinct() const { return keys_.size(); }
+
+ private:
+  static constexpr size_t kMaxEntries = 1 << 22;
+  std::unordered_map<uint64_t, std::string> keys_;
+};
+
+/// The dedup machinery every frontier checker carries: arena-backed
+/// fingerprint scratch sets (cleared per feed, capacity retained), the state
+/// recycling pool, and the debug collision audit.  One instance per monitor;
+/// copies of a monitor start from a fresh engine.
+struct DedupEngine {
+  Arena arena;
+  FpSet seen{arena};         // closure expansion dedup
+  FpSet filter_seen{arena};  // response-filter dedup
+  StatePool pool;
+
+  /// Audit `fp` against the canonical key (built lazily; debug builds only).
+  template <typename KeyFn>
+  void audit(uint64_t fp, KeyFn&& key) {
+#if SELIN_FP_AUDIT
+    if (!audit_.check(fp, key())) {
+      throw std::runtime_error("selin: fingerprint collision detected");
+    }
+#else
+    (void)fp;
+    (void)key;
+#endif
+  }
+
+  /// Dedup probe: true iff `c` (Config or IConfig) is new to `set`.
+  template <typename C>
+  bool probe(FpSet& set, const C& c) {
+    uint64_t fp = c.fingerprint();
+    audit(fp, [&c] { return c.key(); });
+    return set.insert(fp);
+  }
+
+#if SELIN_FP_AUDIT
+ private:
+  CollisionGuard audit_;
+#endif
 };
 
 /// An operation that has been invoked and whose response has not been fed.

@@ -2,30 +2,59 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_set>
 
 #include "selin/lincheck/checker.hpp"
+#include "selin/lincheck/config.hpp"
 
 namespace selin {
 
+using lincheck::DedupEngine;
+using lincheck::StatePool;
+
 namespace {
+
+struct AssignedOp {
+  OpId id;
+  Value v;
+};
 
 /// A configuration of the interval machine: machine state, the operations
 /// currently open *inside* the machine, and the responses already assigned
-/// (machine-responded, awaiting the history's response event).
+/// (machine-responded, awaiting the history's response event).  Deduplicated
+/// by a 64-bit fingerprint: state fingerprint XOR one Zobrist component per
+/// set-shaped member, each maintained incrementally at the mutation sites.
 struct IConfig {
   std::unique_ptr<SeqState> state;
-  std::vector<OpId> machine_open;            // sorted
-  std::vector<std::pair<OpId, Value>> assigned;  // sorted by OpId
+  SmallVec<OpId, 8> machine_open;       // sorted by packed()
+  SmallVec<AssignedOp, 8> assigned;     // sorted by packed()
+  uint64_t open_hash = 0;  // XOR of fph::open_op over machine_open
+  uint64_t asg_hash = 0;   // XOR of fph::lin_op over assigned
 
   IConfig clone() const {
     IConfig c;
     c.state = state->clone();
     c.machine_open = machine_open;
     c.assigned = assigned;
+    c.open_hash = open_hash;
+    c.asg_hash = asg_hash;
     return c;
   }
 
+  IConfig clone_with(StatePool& pool) const {
+    IConfig c;
+    c.state = pool.acquire(*state);
+    c.machine_open = machine_open;
+    c.assigned = assigned;
+    c.open_hash = open_hash;
+    c.asg_hash = asg_hash;
+    return c;
+  }
+
+  uint64_t fingerprint() const {
+    return state->fingerprint() ^ open_hash ^ asg_hash;
+  }
+
+  /// Canonical key (ground truth; audit + diagnostics only).
   std::string key() const {
     std::ostringstream os;
     os << state->encode() << "|";
@@ -41,6 +70,42 @@ struct IConfig {
     return std::binary_search(
         machine_open.begin(), machine_open.end(), id,
         [](OpId a, OpId b) { return a.packed() < b.packed(); });
+  }
+
+  void machine_invoke(OpId id) {
+    auto it = std::upper_bound(
+        machine_open.begin(), machine_open.end(), id,
+        [](OpId a, OpId b) { return a.packed() < b.packed(); });
+    machine_open.insert_at(static_cast<size_t>(it - machine_open.begin()), id);
+    open_hash ^= fph::open_op(id.packed());
+  }
+
+  void machine_respond(OpId id, Value v) {
+    auto it = std::upper_bound(
+        assigned.begin(), assigned.end(), id,
+        [](OpId a, const AssignedOp& b) { return a.packed() < b.id.packed(); });
+    assigned.insert_at(static_cast<size_t>(it - assigned.begin()),
+                       AssignedOp{id, v});
+    asg_hash ^= fph::lin_op(id.packed(), v);
+  }
+
+  /// Remove `id` from both machine bookkeeping sets (the op's history
+  /// response has been observed).
+  void retire(OpId id) {
+    for (size_t i = 0; i < assigned.size(); ++i) {
+      if (assigned[i].id == id) {
+        asg_hash ^= fph::lin_op(id.packed(), assigned[i].v);
+        assigned.erase_at(i);
+        break;
+      }
+    }
+    for (size_t i = 0; i < machine_open.size(); ++i) {
+      if (machine_open[i] == id) {
+        open_hash ^= fph::open_op(id.packed());
+        machine_open.erase_at(i);
+        break;
+      }
+    }
   }
 
   const Value* find_assigned(OpId id) const {
@@ -59,6 +124,8 @@ struct IntervalLinMonitor::Impl {
   bool ok = true;
   std::vector<IConfig> frontier;
   std::vector<OpDesc> history_open;  // invoked in the history, not responded
+
+  DedupEngine eng;
 
   Impl(const IntervalSeqSpec& s, size_t cap) : spec(&s), max_configs(cap) {
     IConfig c;
@@ -83,15 +150,18 @@ struct IntervalLinMonitor::Impl {
   // Closure under (a) machine-invoking any non-empty subset of history-open
   // ops not yet in the machine, and (b) machine-responding any machine-open
   // op without an assigned value.
-  std::vector<IConfig> closure() const {
+  std::vector<IConfig> closure() {
+    eng.seen.clear();
     std::vector<IConfig> result;
-    std::unordered_set<std::string> seen;
+    result.reserve(frontier.size() * 2);
     for (const IConfig& c : frontier) {
-      if (seen.insert(c.key()).second) result.push_back(c.clone());
+      if (eng.probe(eng.seen, c)) result.push_back(c.clone_with(eng.pool));
     }
+    std::vector<OpDesc> eligible;
+    std::vector<OpDesc> batch;
     for (size_t i = 0; i < result.size(); ++i) {
       // (a) invoke subsets of eligible ops.
-      std::vector<OpDesc> eligible;
+      eligible.clear();
       for (const OpDesc& od : history_open) {
         if (!result[i].is_machine_open(od.id) &&
             result[i].find_assigned(od.id) == nullptr) {
@@ -100,41 +170,37 @@ struct IntervalLinMonitor::Impl {
       }
       if (eligible.size() > 16) throw CheckerOverflow{};
       for (uint32_t mask = 1; mask < (1u << eligible.size()); ++mask) {
-        std::vector<OpDesc> batch;
+        batch.clear();
         for (size_t b = 0; b < eligible.size(); ++b) {
           if (mask & (1u << b)) batch.push_back(eligible[b]);
         }
-        IConfig next = result[i].clone();
-        if (!spec->invoke_set(*next.state, batch)) continue;
-        for (const OpDesc& od : batch) {
-          next.machine_open.insert(
-              std::upper_bound(next.machine_open.begin(),
-                               next.machine_open.end(), od.id,
-                               [](OpId a, OpId b) {
-                                 return a.packed() < b.packed();
-                               }),
-              od.id);
+        IConfig next = result[i].clone_with(eng.pool);
+        if (!spec->invoke_set(*next.state, batch)) {
+          eng.pool.release(std::move(next.state));
+          continue;
         }
-        if (seen.insert(next.key()).second) {
+        for (const OpDesc& od : batch) next.machine_invoke(od.id);
+        if (eng.probe(eng.seen, next)) {
           if (result.size() >= max_configs) throw CheckerOverflow{};
           result.push_back(std::move(next));
+        } else {
+          eng.pool.release(std::move(next.state));
         }
       }
       // (b) respond any machine-open op lacking an assignment.
-      for (OpId id : result[i].machine_open) {
+      for (size_t k = 0; k < result[i].machine_open.size(); ++k) {
+        OpId id = result[i].machine_open[k];
         if (result[i].find_assigned(id) != nullptr) continue;
         const OpDesc* od = find_open(id);
         if (od == nullptr) continue;  // already history-responded earlier
-        IConfig next = result[i].clone();
+        IConfig next = result[i].clone_with(eng.pool);
         Value v = spec->respond(*next.state, *od);
-        next.assigned.emplace_back(id, v);
-        std::sort(next.assigned.begin(), next.assigned.end(),
-                  [](const auto& a, const auto& b) {
-                    return a.first.packed() < b.first.packed();
-                  });
-        if (seen.insert(next.key()).second) {
+        next.machine_respond(id, v);
+        if (eng.probe(eng.seen, next)) {
           if (result.size() >= max_configs) throw CheckerOverflow{};
           result.push_back(std::move(next));
+        } else {
+          eng.pool.release(std::move(next.state));
         }
       }
     }
@@ -149,25 +215,30 @@ struct IntervalLinMonitor::Impl {
     }
     std::vector<IConfig> expanded = closure();
     std::vector<IConfig> filtered;
-    std::unordered_set<std::string> seen;
+    filtered.reserve(expanded.size());
+    eng.filter_seen.clear();
     for (IConfig& c : expanded) {
       const Value* v = c.find_assigned(e.op.id);
-      if (v == nullptr || *v != e.result) continue;
+      if (v == nullptr || *v != e.result) {
+        eng.pool.release(std::move(c.state));
+        continue;
+      }
       // The op leaves the machine and the history bookkeeping.
-      c.assigned.erase(
-          std::find_if(c.assigned.begin(), c.assigned.end(),
-                       [&](const auto& p) { return p.first == e.op.id; }));
-      c.machine_open.erase(
-          std::find_if(c.machine_open.begin(), c.machine_open.end(),
-                       [&](OpId id) { return id == e.op.id; }));
-      if (seen.insert(c.key()).second) filtered.push_back(std::move(c));
+      c.retire(e.op.id);
+      if (eng.probe(eng.filter_seen, c)) {
+        filtered.push_back(std::move(c));
+      } else {
+        eng.pool.release(std::move(c.state));
+      }
     }
     for (size_t i = 0; i < history_open.size(); ++i) {
       if (history_open[i].id == e.op.id) {
-        history_open.erase(history_open.begin() + static_cast<long>(i));
+        history_open[i] = history_open.back();
+        history_open.pop_back();
         break;
       }
     }
+    for (IConfig& c : frontier) eng.pool.release(std::move(c.state));
     frontier = std::move(filtered);
     if (frontier.empty()) ok = false;
   }
@@ -227,6 +298,16 @@ class WsState final : public SeqState {
     std::ostringstream os;
     os << "W:" << mask_ << ":" << done_;
     return os.str();
+  }
+  uint64_t fingerprint() const override {
+    return fph::Hasher('W').u64(mask_).u64(done_).done();
+  }
+  bool assign_from(const SeqState& src) override {
+    auto* o = dynamic_cast<const WsState*>(&src);
+    if (o == nullptr) return false;
+    mask_ = o->mask_;
+    done_ = o->done_;
+    return true;
   }
 
   uint64_t mask_ = 0;  ///< processes whose write has entered the machine

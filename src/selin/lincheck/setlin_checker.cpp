@@ -1,13 +1,12 @@
 #include "selin/lincheck/setlin_checker.hpp"
 
-#include <unordered_set>
-
 #include "selin/lincheck/checker.hpp"
 #include "selin/lincheck/config.hpp"
 
 namespace selin {
 
 using lincheck::Config;
+using lincheck::DedupEngine;
 
 struct SetLinMonitor::Impl {
   const SetSeqSpec* spec;
@@ -15,6 +14,8 @@ struct SetLinMonitor::Impl {
   bool ok = true;
   std::vector<Config> frontier;
   std::vector<OpDesc> open;
+
+  DedupEngine eng;
 
   Impl(const SetSeqSpec& s, size_t cap) : spec(&s), max_configs(cap) {
     Config c;
@@ -30,16 +31,19 @@ struct SetLinMonitor::Impl {
 
   // Closure under simultaneous linearization of any non-empty batch of open,
   // not-yet-linearized operations.
-  std::vector<Config> closure() const {
+  std::vector<Config> closure() {
+    eng.seen.clear();
     std::vector<Config> result;
-    std::unordered_set<std::string> seen;
+    result.reserve(frontier.size() * 2);
     for (const Config& c : frontier) {
-      std::string k = c.key();
-      if (seen.insert(std::move(k)).second) result.push_back(c.clone());
+      if (eng.probe(eng.seen, c)) result.push_back(c.clone_with(eng.pool));
     }
+    std::vector<OpDesc> cand;
+    std::vector<OpDesc> batch;
+    std::vector<Value> out;
     for (size_t i = 0; i < result.size(); ++i) {
       // Candidate batch members for this configuration.
-      std::vector<OpDesc> cand;
+      cand.clear();
       for (const OpDesc& od : open) {
         if (result[i].find(od.id) == nullptr) cand.push_back(od);
       }
@@ -48,20 +52,24 @@ struct SetLinMonitor::Impl {
         continue;
       }
       for (uint32_t mask = 1; mask < (1u << cand.size()); ++mask) {
-        std::vector<OpDesc> batch;
+        batch.clear();
         for (size_t b = 0; b < cand.size(); ++b) {
           if (mask & (1u << b)) batch.push_back(cand[b]);
         }
-        Config next = result[i].clone();
-        std::vector<Value> out(batch.size());
-        if (!spec->step_set(*next.state, batch, out)) continue;
+        Config next = result[i].clone_with(eng.pool);
+        out.assign(batch.size(), kNoArg);
+        if (!spec->step_set(*next.state, batch, out)) {
+          eng.pool.release(std::move(next.state));
+          continue;
+        }
         for (size_t b = 0; b < batch.size(); ++b) {
           next.add(batch[b].id, out[b]);
         }
-        std::string k = next.key();
-        if (seen.insert(std::move(k)).second) {
+        if (eng.probe(eng.seen, next)) {
           if (result.size() >= max_configs) throw CheckerOverflow{};
           result.push_back(std::move(next));
+        } else {
+          eng.pool.release(std::move(next.state));
         }
       }
     }
@@ -76,20 +84,29 @@ struct SetLinMonitor::Impl {
     }
     std::vector<Config> expanded = closure();
     std::vector<Config> filtered;
-    std::unordered_set<std::string> seen;
+    filtered.reserve(expanded.size());
+    eng.filter_seen.clear();
     for (Config& c : expanded) {
       const lincheck::LinearizedOp* l = c.find(e.op.id);
-      if (l == nullptr || l->assigned != e.result) continue;
+      if (l == nullptr || l->assigned != e.result) {
+        eng.pool.release(std::move(c.state));
+        continue;
+      }
       c.remove(e.op.id);
-      std::string k = c.key();
-      if (seen.insert(std::move(k)).second) filtered.push_back(std::move(c));
+      if (eng.probe(eng.filter_seen, c)) {
+        filtered.push_back(std::move(c));
+      } else {
+        eng.pool.release(std::move(c.state));
+      }
     }
     for (size_t i = 0; i < open.size(); ++i) {
       if (open[i].id == e.op.id) {
-        open.erase(open.begin() + i);
+        open[i] = open.back();
+        open.pop_back();
         break;
       }
     }
+    for (Config& c : frontier) eng.pool.release(std::move(c.state));
     frontier = std::move(filtered);
     if (frontier.empty()) ok = false;
   }

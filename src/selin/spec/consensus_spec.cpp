@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "selin/spec/spec.hpp"
+#include "selin/util/hash.hpp"
 
 namespace selin {
 namespace {
@@ -28,6 +29,20 @@ class ConsensusState final : public SeqState {
     if (decision_.has_value()) os << *decision_;
     else os << "?";
     return os.str();
+  }
+
+  uint64_t fingerprint() const override {
+    fph::Hasher h('D');
+    h.u64(decision_.has_value() ? 1 : 0);
+    if (decision_.has_value()) h.i64(*decision_);
+    return h.done();
+  }
+
+  bool assign_from(const SeqState& src) override {
+    auto* o = dynamic_cast<const ConsensusState*>(&src);
+    if (o == nullptr) return false;
+    decision_ = o->decision_;
+    return true;
   }
 
  private:

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "selin/spec/spec.hpp"
+#include "selin/util/hash.hpp"
 
 namespace selin {
 namespace {
@@ -30,6 +31,17 @@ class CounterState final : public SeqState {
     std::ostringstream os;
     os << "C:" << value_;
     return os.str();
+  }
+
+  uint64_t fingerprint() const override {
+    return fph::Hasher('C').i64(value_).done();
+  }
+
+  bool assign_from(const SeqState& src) override {
+    auto* o = dynamic_cast<const CounterState*>(&src);
+    if (o == nullptr) return false;
+    value_ = o->value_;
+    return true;
   }
 
  private:

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "selin/spec/spec.hpp"
+#include "selin/util/hash.hpp"
 
 namespace selin {
 namespace {
@@ -21,6 +22,10 @@ class ExchangerState final : public SeqState {
   }
   Value step(Method, Value) override { return kError; }  // set-seq only
   std::string encode() const override { return "X"; }
+  uint64_t fingerprint() const override { return fph::Hasher('X').done(); }
+  bool assign_from(const SeqState& src) override {
+    return dynamic_cast<const ExchangerState*>(&src) != nullptr;
+  }
 };
 
 class ExchangerSpec final : public SetSeqSpec {

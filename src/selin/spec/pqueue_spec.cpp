@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "selin/spec/spec.hpp"
+#include "selin/util/hash.hpp"
 
 namespace selin {
 namespace {
@@ -36,6 +37,19 @@ class PqState final : public SeqState {
     os << "P";
     for (Value v : items_) os << ":" << v;
     return os.str();
+  }
+
+  uint64_t fingerprint() const override {
+    fph::Hasher h('P');
+    for (Value v : items_) h.i64(v);
+    return h.done();
+  }
+
+  bool assign_from(const SeqState& src) override {
+    auto* o = dynamic_cast<const PqState*>(&src);
+    if (o == nullptr) return false;
+    items_ = o->items_;
+    return true;
   }
 
  private:

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "selin/spec/spec.hpp"
+#include "selin/util/hash.hpp"
 
 namespace selin {
 namespace {
@@ -31,6 +32,17 @@ class RegisterState final : public SeqState {
     std::ostringstream os;
     os << "R:" << value_;
     return os.str();
+  }
+
+  uint64_t fingerprint() const override {
+    return fph::Hasher('R').i64(value_).done();
+  }
+
+  bool assign_from(const SeqState& src) override {
+    auto* o = dynamic_cast<const RegisterState*>(&src);
+    if (o == nullptr) return false;
+    value_ = o->value_;
+    return true;
   }
 
  private:

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "selin/spec/spec.hpp"
+#include "selin/util/hash.hpp"
 
 namespace selin {
 namespace {
@@ -33,6 +34,19 @@ class SetState final : public SeqState {
     os << "T";
     for (Value v : items_) os << ":" << v;
     return os.str();
+  }
+
+  uint64_t fingerprint() const override {
+    fph::Hasher h('T');
+    for (Value v : items_) h.i64(v);
+    return h.done();
+  }
+
+  bool assign_from(const SeqState& src) override {
+    auto* o = dynamic_cast<const SetState*>(&src);
+    if (o == nullptr) return false;
+    items_ = o->items_;
+    return true;
   }
 
  private:

@@ -1,6 +1,12 @@
 #include "selin/spec/spec.hpp"
 
+#include "selin/util/hash.hpp"
+
 namespace selin {
+
+uint64_t SeqState::fingerprint() const { return fph::bytes(encode()); }
+
+bool SeqState::assign_from(const SeqState& /*src*/) { return false; }
 
 bool GenLinObject::contains(const History& h) const {
   auto m = monitor();

@@ -34,8 +34,22 @@ class SeqState {
   virtual Value step(Method m, Value arg) = 0;
 
   /// Canonical encoding; two states are equal iff their encodings are equal.
-  /// Used to deduplicate configurations during linearizability checking.
+  /// Ground truth for state identity; the checkers' hot paths use
+  /// fingerprint() instead and fall back to encode() only for the debug
+  /// collision audit and diagnostics.
   virtual std::string encode() const = 0;
+
+  /// 64-bit state fingerprint: equal encodings must yield equal
+  /// fingerprints.  The default hashes encode(); concrete specs override
+  /// with direct hashing so deduplication never materializes a string.
+  virtual uint64_t fingerprint() const;
+
+  /// Overwrite *this with a copy of `src` (same dynamic type), reusing
+  /// internal container capacity.  Returns false when the concrete type does
+  /// not support it (callers then fall back to clone()).  Enables the
+  /// checkers' state pool to recycle discarded configurations with zero
+  /// allocation in steady state.
+  virtual bool assign_from(const SeqState& src);
 };
 
 class SeqSpec {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "selin/spec/spec.hpp"
+#include "selin/util/hash.hpp"
 
 namespace selin {
 namespace {
@@ -35,6 +36,19 @@ class StackState final : public SeqState {
     os << "S";
     for (Value v : items_) os << ":" << v;
     return os.str();
+  }
+
+  uint64_t fingerprint() const override {
+    fph::Hasher h('S');
+    for (Value v : items_) h.i64(v);
+    return h.done();
+  }
+
+  bool assign_from(const SeqState& src) override {
+    auto* o = dynamic_cast<const StackState*>(&src);
+    if (o == nullptr) return false;
+    items_ = o->items_;
+    return true;
   }
 
  private:

@@ -2,15 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <unordered_map>
 
 namespace selin {
 
-namespace {
-std::atomic<uint64_t> g_next_arena_id{1};
-}  // namespace
-
-Arena::Arena() : id_(g_next_arena_id.fetch_add(1, std::memory_order_relaxed)) {}
+Arena::Arena() = default;
 
 Arena::~Arena() {
   Block* b = head_.load(std::memory_order_acquire);
@@ -22,7 +17,12 @@ Arena::~Arena() {
 }
 
 Arena::Block* Arena::new_block(size_t min_payload) {
-  size_t payload = std::max(min_payload, kBlockSize);
+  // Geometric block growth: light arenas (a monitor's few-KiB dedup tables)
+  // stay small, heavy arenas (announcement chains) converge to kBlockSize.
+  size_t hint = next_block_size_.load(std::memory_order_relaxed);
+  size_t payload = std::max(min_payload, hint);
+  next_block_size_.store(std::min(payload * 2, kBlockSize),
+                         std::memory_order_relaxed);
   auto* b = static_cast<Block*>(std::malloc(sizeof(Block) + payload));
   if (b == nullptr) throw std::bad_alloc{};
   b->capacity = payload;
@@ -37,24 +37,26 @@ Arena::Block* Arena::new_block(size_t min_payload) {
 }
 
 void* Arena::allocate(size_t bytes, size_t align) {
-  // Each thread bump-allocates from its own current block per arena; blocks
-  // are shared only through the reclamation list.  The cache keys on the
-  // arena's unique id, not its address — addresses are reused across arena
-  // lifetimes, and one thread commonly interleaves several arenas (queue
-  // nodes, announcement chains, snapshot cells).
-  thread_local std::unordered_map<uint64_t, Block*> blocks;
-  Block*& cur = blocks[id_];
+  // Lock-free shared bump on the head block: threads reserve disjoint,
+  // tightly packed ranges with a CAS on `used`.  A full block falls through
+  // to new_block, which publishes a fresh head.  No per-thread state —
+  // arenas are created per monitor clone, and a thread-local cache keyed by
+  // arena would leak an entry for every destroyed arena.
   for (;;) {
-    if (cur != nullptr) {
-      size_t used = cur->used.load(std::memory_order_relaxed);
-      size_t aligned = (used + align - 1) & ~(align - 1);
-      if (aligned + bytes <= cur->capacity) {
-        cur->used.store(aligned + bytes, std::memory_order_relaxed);
-        bytes_.fetch_add(bytes, std::memory_order_relaxed);
-        return cur->data() + aligned;
+    Block* b = head_.load(std::memory_order_acquire);
+    if (b != nullptr) {
+      size_t used = b->used.load(std::memory_order_relaxed);
+      for (;;) {
+        size_t aligned = (used + align - 1) & ~(align - 1);
+        if (aligned + bytes > b->capacity) break;  // full: fresh block
+        if (b->used.compare_exchange_weak(used, aligned + bytes,
+                                          std::memory_order_relaxed)) {
+          bytes_.fetch_add(bytes, std::memory_order_relaxed);
+          return b->data() + aligned;
+        }
       }
     }
-    cur = new_block(bytes + align);
+    new_block(bytes + align);
   }
 }
 

@@ -3,9 +3,12 @@
 // Section 9.1 of the paper replaces unbounded-size registers by immutable
 // singly-linked lists whose nodes are only ever prepended.  Nodes therefore
 // live until the owning object is destroyed, which is exactly the lifetime a
-// monotone arena provides.  The arena is a lock-free Treiber list of malloc'd
-// blocks; allocation is wait-free per thread (thread-local bump block, with a
-// CAS only when registering a fresh block).
+// monotone arena provides.  It also backs the checkers' FpSet dedup tables
+// (lincheck/config.hpp), which create one short-lived arena per monitor
+// clone — so allocation keeps no per-thread state: threads share the head
+// block through a lock-free CAS bump (tightly packed; lock-free rather than
+// wait-free — a thread can lose the CAS race while others make progress),
+// plus a CAS to register a fresh block.
 #pragma once
 
 #include <atomic>
@@ -60,10 +63,8 @@ class Arena {
 
   std::atomic<Block*> head_{nullptr};
   std::atomic<size_t> bytes_{0};
-  /// Globally unique arena id: thread-local caches key on this rather than
-  /// the arena address, which the allocator may reuse after destruction.
-  const uint64_t id_;
-  static constexpr size_t kBlockSize = 1 << 20;  // 1 MiB payload blocks
+  std::atomic<size_t> next_block_size_{1 << 12};  // doubles up to kBlockSize
+  static constexpr size_t kBlockSize = 1 << 20;  // 1 MiB payload block cap
 };
 
 }  // namespace selin

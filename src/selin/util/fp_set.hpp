@@ -1,0 +1,104 @@
+// Arena-backed open-addressing set of 64-bit fingerprints.
+//
+// This replaces unordered_set<std::string> in the checkers' dedup/memo
+// paths.  Design points, all driven by the closure() hot loop:
+//  * keys are already well-mixed fingerprints, so the probe index is just
+//    the low bits — no re-hashing;
+//  * slots carry an epoch instead of a tombstone/empty sentinel, so clear()
+//    between feed() calls is O(1) and the table's capacity is retained —
+//    steady-state feeds allocate nothing;
+//  * tables come from the monitor's monotone Arena; a grown-out table is
+//    abandoned to the arena (total waste bounded by the final table size,
+//    geometric series), which keeps allocation lock-free and free() out of
+//    the hot path entirely.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "selin/util/arena.hpp"
+
+namespace selin {
+
+class FpSet {
+ public:
+  /// The table is allocated lazily on first insert: monitors are cloned
+  /// eagerly (e.g. the leveled checker's checkpoint copies every few levels)
+  /// and most clones stay dormant, so an empty set must cost nothing.
+  explicit FpSet(Arena& arena, size_t initial_capacity = 256)
+      : arena_(&arena) {
+    cap_ = 16;
+    while (cap_ < initial_capacity) cap_ *= 2;
+  }
+
+  FpSet(const FpSet&) = delete;
+  FpSet& operator=(const FpSet&) = delete;
+
+  size_t size() const { return size_; }
+
+  /// Drop all elements; O(1), keeps capacity.
+  void clear() {
+    ++epoch_;
+    size_ = 0;
+  }
+
+  bool contains(uint64_t fp) const {
+    if (slots_ == nullptr) return false;
+    size_t mask = cap_ - 1;
+    for (size_t i = fp & mask;; i = (i + 1) & mask) {
+      if (slots_[i].epoch != epoch_) return false;
+      if (slots_[i].key == fp) return true;
+    }
+  }
+
+  /// True iff `fp` was not present (and is now inserted).
+  bool insert(uint64_t fp) {
+    if (slots_ == nullptr) slots_ = fresh_table(cap_);
+    if ((size_ + 1) * 4 > cap_ * 3) grow();  // load factor 3/4
+    size_t mask = cap_ - 1;
+    size_t i = fp & mask;
+    while (slots_[i].epoch == epoch_) {
+      if (slots_[i].key == fp) return false;
+      i = (i + 1) & mask;
+    }
+    slots_[i].key = fp;
+    slots_[i].epoch = epoch_;
+    ++size_;
+    return true;
+  }
+
+ private:
+  struct Slot {
+    uint64_t key;
+    uint64_t epoch;  // live iff epoch == FpSet::epoch_ (0 = never used)
+  };
+
+  Slot* fresh_table(size_t cap) {
+    auto* t = static_cast<Slot*>(
+        arena_->allocate(cap * sizeof(Slot), alignof(Slot)));
+    std::memset(t, 0, cap * sizeof(Slot));
+    return t;
+  }
+
+  void grow() {
+    Slot* old = slots_;
+    size_t old_cap = cap_;
+    cap_ *= 2;
+    slots_ = fresh_table(cap_);  // old table is abandoned to the arena
+    size_t mask = cap_ - 1;
+    for (size_t j = 0; j < old_cap; ++j) {
+      if (old[j].epoch != epoch_) continue;
+      size_t i = old[j].key & mask;
+      while (slots_[i].epoch == epoch_) i = (i + 1) & mask;
+      slots_[i] = old[j];
+    }
+  }
+
+  Arena* arena_;
+  Slot* slots_ = nullptr;
+  size_t cap_;
+  size_t size_ = 0;
+  uint64_t epoch_ = 1;
+};
+
+}  // namespace selin

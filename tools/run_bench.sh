@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Runs the membership-engine benchmarks (bench_lincheck + bench_detection)
+# and folds the results into BENCH_lincheck.json at the repo root, so the
+# perf trajectory is tracked PR over PR.
+#
+# Usage: tools/run_bench.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out="$repo_root/BENCH_lincheck.json"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+if [[ ! -x "$build_dir/bench_lincheck" || ! -x "$build_dir/bench_detection" ]]; then
+  echo "error: benchmarks not built in $build_dir (cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+"$build_dir/bench_lincheck" \
+    --benchmark_out="$tmp/lincheck.json" --benchmark_out_format=json
+"$build_dir/bench_detection" \
+    --benchmark_out="$tmp/detection.json" --benchmark_out_format=json
+
+python3 - "$tmp/lincheck.json" "$tmp/detection.json" "$out" <<'EOF'
+import json, sys
+
+lincheck, detection, out = sys.argv[1], sys.argv[2], sys.argv[3]
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        "context": {k: data["context"].get(k)
+                    for k in ("date", "host_name", "num_cpus", "mhz_per_cpu",
+                              "library_build_type")},
+        "benchmarks": data["benchmarks"],
+    }
+
+result = {"bench_lincheck": load(lincheck), "bench_detection": load(detection)}
+
+# Preserve the recorded baseline (string-key engine) if present, so the
+# speedup trajectory stays visible.
+try:
+    with open(out) as f:
+        prev = json.load(f)
+    if "baseline_string_key" in prev:
+        result["baseline_string_key"] = prev["baseline_string_key"]
+except (FileNotFoundError, json.JSONDecodeError):
+    pass
+
+with open(out, "w") as f:
+    json.dump(result, f, indent=1)
+print(f"wrote {out}")
+EOF
