@@ -5,27 +5,31 @@
 namespace selin {
 
 MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
-                         const GenLinObject& obj, SnapshotKind kind)
+                         const GenLinObject& obj, SnapshotKind kind,
+                         size_t checker_threads)
     : obj_(&obj),
       m_(make_snapshot<const RecNode*>(kind, n_producers, nullptr)),
       producers_(n_producers),
       checkers_(n_checkers) {
   for (CheckerSlot& c : checkers_) {
     c.seen.assign(n_producers, nullptr);
-    c.checker = std::make_unique<LeveledChecker>(obj);
+    c.checker = std::make_unique<LeveledChecker>(
+        obj, LeveledChecker::kDefaultStride, checker_threads);
   }
 }
 
 MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
                          const GenLinObject& obj,
-                         std::unique_ptr<Snapshot<const RecNode*>> m)
+                         std::unique_ptr<Snapshot<const RecNode*>> m,
+                         size_t checker_threads)
     : obj_(&obj),
       m_(std::move(m)),
       producers_(n_producers),
       checkers_(n_checkers) {
   for (CheckerSlot& c : checkers_) {
     c.seen.assign(n_producers, nullptr);
-    c.checker = std::make_unique<LeveledChecker>(obj);
+    c.checker = std::make_unique<LeveledChecker>(
+        obj, LeveledChecker::kDefaultStride, checker_threads);
   }
 }
 

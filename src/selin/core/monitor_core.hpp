@@ -30,12 +30,19 @@ class MonitorCore {
  public:
   /// n_producers writable entries in M; n_checkers independent checking
   /// contexts (per-process in Figures 10/11; per-verifier in Figure 12).
+  /// `checker_threads` is forwarded to each checker's membership monitors
+  /// (0 = the object's default; > 1 runs the membership test P_O on the
+  /// parallel sharded frontier engine — the monitor threads belong to the
+  /// checker that owns them, so the wait-free cross-thread protocol through
+  /// M is unchanged).
   MonitorCore(size_t n_producers, size_t n_checkers, const GenLinObject& obj,
-              SnapshotKind kind = SnapshotKind::kDoubleCollect);
+              SnapshotKind kind = SnapshotKind::kDoubleCollect,
+              size_t checker_threads = 0);
 
   /// Same, with a caller-provided record object M (e.g. ABD, Section 9.4).
   MonitorCore(size_t n_producers, size_t n_checkers, const GenLinObject& obj,
-              std::unique_ptr<Snapshot<const RecNode*>> m);
+              std::unique_ptr<Snapshot<const RecNode*>> m,
+              size_t checker_threads = 0);
   ~MonitorCore();
 
   /// res_i ← res_i ∪ {(p_i, op_i, y_i, λ_i)}; M.Write(res_i).

@@ -1,6 +1,7 @@
 #include "selin/lincheck/checker.hpp"
 
 #include "selin/lincheck/config.hpp"
+#include "selin/parallel/sharded_frontier.hpp"
 
 namespace selin {
 
@@ -14,22 +15,52 @@ using lincheck::DedupEngine;
 struct LinMonitor::Impl {
   const SeqSpec* spec;
   size_t max_configs;
+  size_t threads;
   bool ok = true;
-  std::vector<Config> frontier;
+  bool overflowed = false;
+  std::vector<Config> frontier;  // sequential engine (threads == 1)
   std::vector<OpDesc> open;  // invoked, response not yet fed
 
   DedupEngine eng;
 
-  Impl(const SeqSpec& s, size_t cap) : spec(&s), max_configs(cap) {
+  // Parallel engine (threads > 1): fingerprint-routed shards, one lane per
+  // shard.  The pool's worker threads spawn lazily on the first phase wide
+  // enough to dispatch, so dormant clones cost nothing.
+  std::unique_ptr<parallel::ShardPool> pool;
+  std::unique_ptr<parallel::ShardedFrontier<Config>> shards;
+
+  Impl(const SeqSpec& s, size_t cap, size_t nthreads)
+      : spec(&s), max_configs(cap), threads(nthreads == 0 ? 1 : nthreads) {
     Config c;
     c.state = s.initial();
-    frontier.push_back(std::move(c));
+    if (threads > 1) {
+      make_shards();
+      shards->seed(std::move(c));
+    } else {
+      frontier.push_back(std::move(c));
+    }
   }
 
-  Impl(const Impl& o) : spec(o.spec), max_configs(o.max_configs), ok(o.ok),
-                        open(o.open) {
-    frontier.reserve(o.frontier.size());
-    for (const Config& c : o.frontier) frontier.push_back(c.clone());
+  Impl(const Impl& o)
+      : spec(o.spec), max_configs(o.max_configs), threads(o.threads),
+        ok(o.ok), overflowed(o.overflowed), open(o.open) {
+    if (threads > 1) {
+      make_shards();
+      shards->clone_from(*o.shards);
+    } else {
+      frontier.reserve(o.frontier.size());
+      for (const Config& c : o.frontier) frontier.push_back(c.clone());
+    }
+  }
+
+  void make_shards() {
+    pool = std::make_unique<parallel::ShardPool>(threads);
+    shards = std::make_unique<parallel::ShardedFrontier<Config>>(*pool,
+                                                                 max_configs);
+  }
+
+  size_t frontier_size() const {
+    return threads > 1 ? shards->size() : frontier.size();
   }
 
   // All configurations reachable from `frontier` by linearizing any sequence
@@ -60,13 +91,37 @@ struct LinMonitor::Impl {
   }
 
   void feed(const Event& e) {
-    if (!ok) return;
+    if (!ok || overflowed) return;
     if (e.is_inv()) {
       open.push_back(e.op);
       return;
     }
     // Response of e.op with result e.result: every surviving configuration
     // must have linearized e.op with exactly that result.
+    try {
+      if (threads > 1) {
+        feed_res_parallel(e);
+      } else {
+        feed_res_sequential(e);
+      }
+    } catch (...) {
+      // The half-expanded frontier no longer reflects the fed prefix.
+      // Release everything and poison the monitor (sticky overflowed())
+      // rather than leave it open to undefined reuse; the exception still
+      // propagates so one-shot callers see CheckerOverflow as before.
+      overflowed = true;
+      if (threads > 1) {
+        shards->release_all();
+      } else {
+        for (Config& c : frontier) eng.pool.release(std::move(c.state));
+        frontier.clear();
+      }
+      throw;
+    }
+    erase_open(e.op.id);
+  }
+
+  void feed_res_sequential(const Event& e) {
     std::vector<Config> expanded = closure();
     std::vector<Config> filtered;
     filtered.reserve(expanded.size());
@@ -84,21 +139,44 @@ struct LinMonitor::Impl {
         eng.pool.release(std::move(c.state));
       }
     }
+    for (Config& c : frontier) eng.pool.release(std::move(c.state));
+    frontier = std::move(filtered);
+    if (frontier.empty()) ok = false;
+  }
+
+  void feed_res_parallel(const Event& e) {
+    shards->closure([this](size_t s, const Config& c, auto& emit) {
+      DedupEngine& weng = pool->engine(s);
+      for (const OpDesc& od : open) {
+        if (c.find(od.id) != nullptr) continue;
+        Config next = c.clone_with(weng.pool);
+        Value assigned = next.state->step(od.method, od.arg);
+        next.add(od.id, assigned);
+        emit(std::move(next));
+      }
+    });
+    shards->filter([&e](size_t, Config& c) {
+      const lincheck::LinearizedOp* l = c.find(e.op.id);
+      if (l == nullptr || l->assigned != e.result) return false;
+      c.remove(e.op.id);
+      return true;
+    });
+    if (shards->size() == 0) ok = false;
+  }
+
+  void erase_open(OpId id) {
     for (size_t i = 0; i < open.size(); ++i) {
-      if (open[i].id == e.op.id) {
+      if (open[i].id == id) {
         open[i] = open.back();  // order is irrelevant: swap-erase, not shift
         open.pop_back();
         break;
       }
     }
-    for (Config& c : frontier) eng.pool.release(std::move(c.state));
-    frontier = std::move(filtered);
-    if (frontier.empty()) ok = false;
   }
 };
 
-LinMonitor::LinMonitor(const SeqSpec& spec, size_t max_configs)
-    : impl_(std::make_unique<Impl>(spec, max_configs)) {}
+LinMonitor::LinMonitor(const SeqSpec& spec, size_t max_configs, size_t threads)
+    : impl_(std::make_unique<Impl>(spec, max_configs, threads)) {}
 
 LinMonitor::LinMonitor(const LinMonitor& other)
     : impl_(std::make_unique<Impl>(*other.impl_)) {}
@@ -107,14 +185,16 @@ LinMonitor::~LinMonitor() = default;
 
 void LinMonitor::feed(const Event& e) { impl_->feed(e); }
 bool LinMonitor::ok() const { return impl_->ok; }
-size_t LinMonitor::frontier_size() const { return impl_->frontier.size(); }
+bool LinMonitor::overflowed() const { return impl_->overflowed; }
+size_t LinMonitor::frontier_size() const { return impl_->frontier_size(); }
 
 std::unique_ptr<MembershipMonitor> LinMonitor::clone() const {
   return std::make_unique<LinMonitor>(*this);
 }
 
-bool linearizable(const SeqSpec& spec, const History& h, size_t max_configs) {
-  LinMonitor m(spec, max_configs);
+bool linearizable(const SeqSpec& spec, const History& h, size_t max_configs,
+                  size_t threads) {
+  LinMonitor m(spec, max_configs, threads);
   for (const Event& e : h) {
     m.feed(e);
     if (!m.ok()) return false;
@@ -124,12 +204,16 @@ bool linearizable(const SeqSpec& spec, const History& h, size_t max_configs) {
 
 // ---------------------------------------------------------------------------
 // find_linearization: memoized DFS recording the linearization order.
+//
+// The search runs on an explicit frame stack — its depth is the history
+// length plus the number of linearized operations, which for deep histories
+// (hundreds of thousands of events) overflows the native stack long before
+// max_visited trips.
 // ---------------------------------------------------------------------------
 
 namespace {
 
 struct DfsCtx {
-  const SeqSpec* spec;
   const History* h;
   DedupEngine eng;
   FpSet failed{eng.arena};  // memo of dead (event index, config) states
@@ -139,78 +223,138 @@ struct DfsCtx {
   // The linearization order: (op, result assigned by the machine).
   std::vector<std::pair<OpDesc, Value>> order;
 
+  // One node of the search tree.  kInv/kResMatched frames have exactly one
+  // child (advance past the event); kLinCandidates frames try linearizing
+  // each eligible open op (preferring e.op, which prunes fastest when it
+  // matches immediately) against the *same* event.
+  struct Frame {
+    enum Kind : uint8_t { kInv, kResMatched, kLinCandidates };
+    size_t idx;
+    Config c;
+    std::vector<OpDesc> open;
+    uint64_t memo_key = 0;
+    size_t order_mark = 0;  // order.size() to restore when this frame fails
+    Kind kind = kInv;
+    bool entered = false;  // children enumerated?
+    std::vector<size_t> cand;  // open indices still to try (kLinCandidates)
+    size_t next_cand = 0;
+  };
+
   uint64_t memo_fp(size_t idx, const Config& c) {
     uint64_t fp = fph::mix(c.fingerprint() ^ fph::mix(idx));
     eng.audit(fp, [&] { return std::to_string(idx) + "#" + c.key(); });
     return fp;
   }
 
-  bool dfs(size_t idx, Config& c, std::vector<OpDesc>& open) {
-    if (++visited > max_visited) throw CheckerOverflow{};
-    if (idx == h->size()) return true;
-    uint64_t key = memo_fp(idx, c);
-    if (failed.contains(key)) return false;
+  bool search(Config root) {
+    std::vector<Frame> stack;
+    {
+      Frame f;
+      f.idx = 0;
+      f.c = std::move(root);
+      stack.push_back(std::move(f));
+    }
 
-    const Event& e = (*h)[idx];
-    bool found = false;
-    if (e.is_inv()) {
-      open.push_back(e.op);
-      found = dfs(idx + 1, c, open);
-      if (!found) open.pop_back();
-    } else {
-      const lincheck::LinearizedOp* l = c.find(e.op.id);
-      if (l != nullptr) {
-        if (l->assigned == e.result) {
-          Config next = c.clone_with(eng.pool);
-          next.remove(e.op.id);
-          std::vector<OpDesc> next_open;
-          next_open.reserve(open.size());
-          for (const OpDesc& od : open) {
-            if (od.id != e.op.id) next_open.push_back(od);
-          }
-          found = dfs(idx + 1, next, next_open);
-          if (found) {
-            eng.pool.release(std::move(c.state));
-            c = std::move(next);
-            open = std::move(next_open);
-          } else {
-            eng.pool.release(std::move(next.state));
-          }
+    auto pop_failed = [&] {
+      Frame& f = stack.back();
+      failed.insert(f.memo_key);
+      order.resize(f.order_mark);
+      eng.pool.release(std::move(f.c.state));
+      stack.pop_back();
+    };
+
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (!f.entered) {
+        f.entered = true;
+        if (++visited > max_visited) throw CheckerOverflow{};
+        if (f.idx == h->size()) return true;
+        f.memo_key = memo_fp(f.idx, f.c);
+        if (failed.contains(f.memo_key)) {
+          order.resize(f.order_mark);
+          eng.pool.release(std::move(f.c.state));
+          stack.pop_back();
+          continue;
         }
-      } else {
-        // Must linearize some open op now; try each (preferring e.op, which
-        // prunes fastest when it matches immediately).
-        std::vector<size_t> cand;
-        cand.reserve(open.size());
-        for (size_t i = 0; i < open.size(); ++i) {
-          if (c.find(open[i].id) == nullptr) {
-            if (open[i].id == e.op.id) cand.insert(cand.begin(), i);
-            else cand.push_back(i);
-          }
+        const Event& e = (*h)[f.idx];
+        if (e.is_inv()) {
+          // Single child; a failed child fails this frame too, so the
+          // config and open set move down instead of being cloned (the
+          // parent pops with a released — null — state, which is fine).
+          f.kind = Frame::kInv;
+          Frame child;
+          child.idx = f.idx + 1;
+          child.c = std::move(f.c);
+          child.open = std::move(f.open);
+          child.open.push_back(e.op);
+          child.order_mark = order.size();
+          stack.push_back(std::move(child));
+          continue;
         }
-        for (size_t i : cand) {
-          Config next = c.clone_with(eng.pool);
-          Value assigned = next.state->step(open[i].method, open[i].arg);
-          if (open[i].id == e.op.id && assigned != e.result) {
-            eng.pool.release(std::move(next.state));
+        const lincheck::LinearizedOp* l = f.c.find(e.op.id);
+        if (l != nullptr) {
+          if (l->assigned != e.result) {
+            pop_failed();
             continue;
           }
-          next.add(open[i].id, assigned);
-          size_t order_mark = order.size();
-          order.emplace_back(open[i], assigned);
-          if (dfs(idx, next, open)) {  // same event, new machine state
-            eng.pool.release(std::move(c.state));
-            c = std::move(next);
-            found = true;
-            break;
+          // Single child as above: mutate the moved config in place.
+          f.kind = Frame::kResMatched;
+          Frame child;
+          child.idx = f.idx + 1;
+          child.c = std::move(f.c);
+          child.c.remove(e.op.id);
+          child.open = std::move(f.open);
+          for (size_t i = 0; i < child.open.size(); ++i) {
+            if (child.open[i].id == e.op.id) {
+              child.open.erase(child.open.begin() +
+                               static_cast<long>(i));  // keep order: the
+              break;  // candidate preference below iterates open in order
+            }
           }
-          eng.pool.release(std::move(next.state));
-          order.resize(order_mark);
+          child.order_mark = order.size();
+          stack.push_back(std::move(child));
+          continue;
         }
+        f.kind = Frame::kLinCandidates;
+        f.cand.reserve(f.open.size());
+        for (size_t i = 0; i < f.open.size(); ++i) {
+          if (f.c.find(f.open[i].id) == nullptr) {
+            if (f.open[i].id == e.op.id) f.cand.insert(f.cand.begin(), i);
+            else f.cand.push_back(i);
+          }
+        }
+        // fall through to the candidate loop below
       }
+
+      // A child of this frame failed (or candidates are being enumerated).
+      if (f.kind != Frame::kLinCandidates) {
+        pop_failed();
+        continue;
+      }
+      const Event& e = (*h)[f.idx];
+      bool pushed = false;
+      while (f.next_cand < f.cand.size()) {
+        const OpDesc& op = f.open[f.cand[f.next_cand++]];
+        Config next = f.c.clone_with(eng.pool);
+        Value assigned = next.state->step(op.method, op.arg);
+        if (op.id == e.op.id && assigned != e.result) {
+          eng.pool.release(std::move(next.state));
+          continue;
+        }
+        next.add(op.id, assigned);
+        Frame child;
+        child.idx = f.idx;  // same event, new machine state
+        child.c = std::move(next);
+        child.open = f.open;
+        child.order_mark = order.size();
+        order.emplace_back(op, assigned);
+        stack.push_back(std::move(child));
+        pushed = true;
+        break;
+      }
+      if (!pushed) pop_failed();
     }
-    if (!found) failed.insert(key);
-    return found;
+    return false;
   }
 };
 
@@ -220,14 +364,12 @@ std::optional<History> find_linearization(const SeqSpec& spec,
                                           const History& h,
                                           size_t max_visited) {
   DfsCtx ctx;
-  ctx.spec = &spec;
   ctx.h = &h;
   ctx.max_visited = max_visited;
 
   Config c;
   c.state = spec.initial();
-  std::vector<OpDesc> open;
-  if (!ctx.dfs(0, c, open)) return std::nullopt;
+  if (!ctx.search(std::move(c))) return std::nullopt;
 
   History s;
   s.reserve(ctx.order.size() * 2);

@@ -45,15 +45,28 @@ class CheckerOverflow : public std::runtime_error {
 };
 
 /// Incremental linearizability monitor for a deterministic sequential spec.
+///
+/// `threads > 1` runs closure expansion and response filtering on a
+/// fingerprint-routed shard pool (parallel/sharded_frontier.hpp) with
+/// `threads` shards; verdicts and frontier contents are identical to the
+/// sequential engine, which remains the default at `threads == 1`.
 class LinMonitor final : public MembershipMonitor {
  public:
-  explicit LinMonitor(const SeqSpec& spec, size_t max_configs = 1 << 18);
+  explicit LinMonitor(const SeqSpec& spec, size_t max_configs = 1 << 18,
+                      size_t threads = 1);
   LinMonitor(const LinMonitor& other);
   ~LinMonitor() override;
 
   void feed(const Event& e) override;
   bool ok() const override;
   std::unique_ptr<MembershipMonitor> clone() const override;
+
+  /// True once a feed overflowed the exploration budget.  The overflowing
+  /// feed releases every in-flight configuration and rethrows
+  /// CheckerOverflow; afterwards the monitor is sticky — further feeds are
+  /// ignored and ok() keeps its last definite value, so callers that caught
+  /// the overflow must treat the verdict as unknown, not reuse it.
+  bool overflowed() const;
 
   /// Number of live configurations (diagnostics / bench counters).
   size_t frontier_size() const;
@@ -65,7 +78,7 @@ class LinMonitor final : public MembershipMonitor {
 
 /// One-shot test: is `h` linearizable with respect to `spec`?
 bool linearizable(const SeqSpec& spec, const History& h,
-                  size_t max_configs = 1 << 18);
+                  size_t max_configs = 1 << 18, size_t threads = 1);
 
 /// DFS with memoization returning a linearization S (a sequential history of
 /// complete operations, Definition 4.2) when one exists.

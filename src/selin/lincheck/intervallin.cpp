@@ -5,6 +5,7 @@
 
 #include "selin/lincheck/checker.hpp"
 #include "selin/lincheck/config.hpp"
+#include "selin/parallel/sharded_frontier.hpp"
 
 namespace selin {
 
@@ -121,23 +122,56 @@ struct IConfig {
 struct IntervalLinMonitor::Impl {
   const IntervalSeqSpec* spec;
   size_t max_configs;
+  size_t threads;
   bool ok = true;
-  std::vector<IConfig> frontier;
+  bool overflowed = false;
+  std::vector<IConfig> frontier;  // sequential engine (threads == 1)
   std::vector<OpDesc> history_open;  // invoked in the history, not responded
 
   DedupEngine eng;
 
-  Impl(const IntervalSeqSpec& s, size_t cap) : spec(&s), max_configs(cap) {
+  // Parallel engine (threads > 1) plus per-lane subset-enumeration scratch.
+  std::unique_ptr<parallel::ShardPool> pool;
+  std::unique_ptr<parallel::ShardedFrontier<IConfig>> shards;
+  struct alignas(64) Scratch {   // lanes write these headers in the inner
+    std::vector<OpDesc> eligible;  // mask loop; keep neighbors off one line
+    std::vector<OpDesc> batch;
+  };
+  std::vector<Scratch> scratch;
+
+  Impl(const IntervalSeqSpec& s, size_t cap, size_t nthreads)
+      : spec(&s), max_configs(cap), threads(nthreads == 0 ? 1 : nthreads) {
     IConfig c;
     c.state = s.initial();
-    frontier.push_back(std::move(c));
+    if (threads > 1) {
+      make_shards();
+      shards->seed(std::move(c));
+    } else {
+      frontier.push_back(std::move(c));
+    }
   }
 
   Impl(const Impl& o)
-      : spec(o.spec), max_configs(o.max_configs), ok(o.ok),
-        history_open(o.history_open) {
-    frontier.reserve(o.frontier.size());
-    for (const IConfig& c : o.frontier) frontier.push_back(c.clone());
+      : spec(o.spec), max_configs(o.max_configs), threads(o.threads),
+        ok(o.ok), overflowed(o.overflowed), history_open(o.history_open) {
+    if (threads > 1) {
+      make_shards();
+      shards->clone_from(*o.shards);
+    } else {
+      frontier.reserve(o.frontier.size());
+      for (const IConfig& c : o.frontier) frontier.push_back(c.clone());
+    }
+  }
+
+  void make_shards() {
+    pool = std::make_unique<parallel::ShardPool>(threads);
+    shards = std::make_unique<parallel::ShardedFrontier<IConfig>>(*pool,
+                                                                  max_configs);
+    scratch.resize(threads);
+  }
+
+  size_t frontier_size() const {
+    return threads > 1 ? shards->size() : frontier.size();
   }
 
   const OpDesc* find_open(OpId id) const {
@@ -208,11 +242,39 @@ struct IntervalLinMonitor::Impl {
   }
 
   void feed(const Event& e) {
-    if (!ok) return;
+    if (!ok || overflowed) return;
     if (e.is_inv()) {
       history_open.push_back(e.op);
       return;
     }
+    try {
+      if (threads > 1) {
+        feed_res_parallel(e);
+      } else {
+        feed_res_sequential(e);
+      }
+    } catch (...) {
+      // Release in-flight configurations and poison the monitor (sticky
+      // overflowed()); the exception still propagates to the caller.
+      overflowed = true;
+      if (threads > 1) {
+        shards->release_all();
+      } else {
+        for (IConfig& c : frontier) eng.pool.release(std::move(c.state));
+        frontier.clear();
+      }
+      throw;
+    }
+    for (size_t i = 0; i < history_open.size(); ++i) {
+      if (history_open[i].id == e.op.id) {
+        history_open[i] = history_open.back();
+        history_open.pop_back();
+        break;
+      }
+    }
+  }
+
+  void feed_res_sequential(const Event& e) {
     std::vector<IConfig> expanded = closure();
     std::vector<IConfig> filtered;
     filtered.reserve(expanded.size());
@@ -231,22 +293,62 @@ struct IntervalLinMonitor::Impl {
         eng.pool.release(std::move(c.state));
       }
     }
-    for (size_t i = 0; i < history_open.size(); ++i) {
-      if (history_open[i].id == e.op.id) {
-        history_open[i] = history_open.back();
-        history_open.pop_back();
-        break;
-      }
-    }
     for (IConfig& c : frontier) eng.pool.release(std::move(c.state));
     frontier = std::move(filtered);
     if (frontier.empty()) ok = false;
   }
+
+  void feed_res_parallel(const Event& e) {
+    shards->closure([this](size_t s, const IConfig& c, auto& emit) {
+      DedupEngine& weng = pool->engine(s);
+      Scratch& sc = scratch[s];
+      // (a) invoke subsets of eligible ops.
+      sc.eligible.clear();
+      for (const OpDesc& od : history_open) {
+        if (!c.is_machine_open(od.id) && c.find_assigned(od.id) == nullptr) {
+          sc.eligible.push_back(od);
+        }
+      }
+      if (sc.eligible.size() > 16) throw CheckerOverflow{};
+      for (uint32_t mask = 1; mask < (1u << sc.eligible.size()); ++mask) {
+        sc.batch.clear();
+        for (size_t b = 0; b < sc.eligible.size(); ++b) {
+          if (mask & (1u << b)) sc.batch.push_back(sc.eligible[b]);
+        }
+        IConfig next = c.clone_with(weng.pool);
+        if (!spec->invoke_set(*next.state, sc.batch)) {
+          weng.pool.release(std::move(next.state));
+          continue;
+        }
+        for (const OpDesc& od : sc.batch) next.machine_invoke(od.id);
+        emit(std::move(next));
+      }
+      // (b) respond any machine-open op lacking an assignment.
+      for (size_t k = 0; k < c.machine_open.size(); ++k) {
+        OpId id = c.machine_open[k];
+        if (c.find_assigned(id) != nullptr) continue;
+        const OpDesc* od = find_open(id);
+        if (od == nullptr) continue;  // already history-responded earlier
+        IConfig next = c.clone_with(weng.pool);
+        Value v = spec->respond(*next.state, *od);
+        next.machine_respond(id, v);
+        emit(std::move(next));
+      }
+    });
+    shards->filter([&e](size_t, IConfig& c) {
+      const Value* v = c.find_assigned(e.op.id);
+      if (v == nullptr || *v != e.result) return false;
+      // The op leaves the machine and the history bookkeeping.
+      c.retire(e.op.id);
+      return true;
+    });
+    if (shards->size() == 0) ok = false;
+  }
 };
 
 IntervalLinMonitor::IntervalLinMonitor(const IntervalSeqSpec& spec,
-                                       size_t max_configs)
-    : impl_(std::make_unique<Impl>(spec, max_configs)) {}
+                                       size_t max_configs, size_t threads)
+    : impl_(std::make_unique<Impl>(spec, max_configs, threads)) {}
 
 IntervalLinMonitor::IntervalLinMonitor(const IntervalLinMonitor& other)
     : impl_(std::make_unique<Impl>(*other.impl_)) {}
@@ -255,14 +357,18 @@ IntervalLinMonitor::~IntervalLinMonitor() = default;
 
 void IntervalLinMonitor::feed(const Event& e) { impl_->feed(e); }
 bool IntervalLinMonitor::ok() const { return impl_->ok; }
+bool IntervalLinMonitor::overflowed() const { return impl_->overflowed; }
+size_t IntervalLinMonitor::frontier_size() const {
+  return impl_->frontier_size();
+}
 
 std::unique_ptr<MembershipMonitor> IntervalLinMonitor::clone() const {
   return std::make_unique<IntervalLinMonitor>(*this);
 }
 
 bool interval_linearizable(const IntervalSeqSpec& spec, const History& h,
-                           size_t max_configs) {
-  IntervalLinMonitor m(spec, max_configs);
+                           size_t max_configs, size_t threads) {
+  IntervalLinMonitor m(spec, max_configs, threads);
   for (const Event& e : h) {
     m.feed(e);
     if (!m.ok()) return false;
@@ -274,16 +380,22 @@ namespace {
 
 class IntervalLinObject final : public GenLinObject {
  public:
-  IntervalLinObject(std::unique_ptr<IntervalSeqSpec> spec, size_t max_configs)
-      : spec_(std::move(spec)), max_configs_(max_configs) {}
+  IntervalLinObject(std::unique_ptr<IntervalSeqSpec> spec, size_t max_configs,
+                    size_t threads)
+      : spec_(std::move(spec)), max_configs_(max_configs), threads_(threads) {}
   const char* name() const override { return spec_->name(); }
   std::unique_ptr<MembershipMonitor> monitor() const override {
-    return std::make_unique<IntervalLinMonitor>(*spec_, max_configs_);
+    return monitor(threads_);
+  }
+  std::unique_ptr<MembershipMonitor> monitor(size_t threads) const override {
+    return std::make_unique<IntervalLinMonitor>(*spec_, max_configs_,
+                                                threads == 0 ? threads_ : threads);
   }
 
  private:
   std::unique_ptr<IntervalSeqSpec> spec_;
   size_t max_configs_;
+  size_t threads_;
 };
 
 // ---- Write-snapshot as an interval-sequential machine ----------------------
@@ -347,8 +459,10 @@ class WsIntervalSpec final : public IntervalSeqSpec {
 }  // namespace
 
 std::unique_ptr<GenLinObject> make_interval_linearizable_object(
-    std::unique_ptr<IntervalSeqSpec> spec, size_t max_configs) {
-  return std::make_unique<IntervalLinObject>(std::move(spec), max_configs);
+    std::unique_ptr<IntervalSeqSpec> spec, size_t max_configs,
+    size_t threads) {
+  return std::make_unique<IntervalLinObject>(std::move(spec), max_configs,
+                                             threads);
 }
 
 std::unique_ptr<IntervalSeqSpec> make_write_snapshot_interval_spec() {

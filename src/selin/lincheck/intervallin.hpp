@@ -50,16 +50,26 @@ class IntervalSeqSpec {
   virtual Value respond(SeqState& state, const OpDesc& op) const = 0;
 };
 
+/// `threads > 1` expands the two-move closure on a fingerprint-routed shard
+/// pool (parallel/sharded_frontier.hpp); verdicts and frontier contents are
+/// identical to the sequential engine, the default at `threads == 1`.
 class IntervalLinMonitor final : public MembershipMonitor {
  public:
   explicit IntervalLinMonitor(const IntervalSeqSpec& spec,
-                              size_t max_configs = 1 << 18);
+                              size_t max_configs = 1 << 18,
+                              size_t threads = 1);
   IntervalLinMonitor(const IntervalLinMonitor& other);
   ~IntervalLinMonitor() override;
 
   void feed(const Event& e) override;
   bool ok() const override;
   std::unique_ptr<MembershipMonitor> clone() const override;
+
+  /// Sticky overflow flag; see LinMonitor::overflowed().
+  bool overflowed() const;
+
+  /// Number of live configurations (diagnostics / determinism tests).
+  size_t frontier_size() const;
 
  private:
   struct Impl;
@@ -68,11 +78,12 @@ class IntervalLinMonitor final : public MembershipMonitor {
 
 /// One-shot test: is `h` interval-linearizable w.r.t. `spec`?
 bool interval_linearizable(const IntervalSeqSpec& spec, const History& h,
-                           size_t max_configs = 1 << 18);
+                           size_t max_configs = 1 << 18, size_t threads = 1);
 
 /// GenLin adapter (owns the spec).
 std::unique_ptr<GenLinObject> make_interval_linearizable_object(
-    std::unique_ptr<IntervalSeqSpec> spec, size_t max_configs = 1 << 18);
+    std::unique_ptr<IntervalSeqSpec> spec, size_t max_configs = 1 << 18,
+    size_t threads = 1);
 
 /// The write-snapshot task as an interval-sequential specification (outputs
 /// are bitmask views; n ≤ 64) — cross-validated in tests against the direct

@@ -11,12 +11,16 @@
 namespace selin {
 
 /// The abstract object of all histories linearizable w.r.t. `spec`.
-/// Owns the spec.
+/// Owns the spec.  `threads > 1` makes monitor() hand out parallel
+/// (fingerprint-sharded) membership monitors by default; either way,
+/// monitor(threads) can override per deployment.
 std::unique_ptr<GenLinObject> make_linearizable_object(
-    std::unique_ptr<SeqSpec> spec, size_t max_configs = 1 << 18);
+    std::unique_ptr<SeqSpec> spec, size_t max_configs = 1 << 18,
+    size_t threads = 1);
 
 /// The abstract object of all histories set-linearizable w.r.t. `spec`.
 std::unique_ptr<GenLinObject> make_set_linearizable_object(
-    std::unique_ptr<SetSeqSpec> spec, size_t max_configs = 1 << 18);
+    std::unique_ptr<SetSeqSpec> spec, size_t max_configs = 1 << 18,
+    size_t threads = 1);
 
 }  // namespace selin

@@ -2,6 +2,7 @@
 
 #include "selin/lincheck/checker.hpp"
 #include "selin/lincheck/config.hpp"
+#include "selin/parallel/sharded_frontier.hpp"
 
 namespace selin {
 
@@ -11,22 +12,57 @@ using lincheck::DedupEngine;
 struct SetLinMonitor::Impl {
   const SetSeqSpec* spec;
   size_t max_configs;
+  size_t threads;
   bool ok = true;
-  std::vector<Config> frontier;
+  bool overflowed = false;
+  std::vector<Config> frontier;  // sequential engine (threads == 1)
   std::vector<OpDesc> open;
 
   DedupEngine eng;
 
-  Impl(const SetSeqSpec& s, size_t cap) : spec(&s), max_configs(cap) {
+  // Parallel engine (threads > 1) plus per-lane batch-enumeration scratch.
+  std::unique_ptr<parallel::ShardPool> pool;
+  std::unique_ptr<parallel::ShardedFrontier<Config>> shards;
+  struct alignas(64) Scratch {  // lanes write these headers in the inner
+    std::vector<OpDesc> cand;   // mask loop; keep neighbors off one line
+    std::vector<OpDesc> batch;
+    std::vector<Value> out;
+  };
+  std::vector<Scratch> scratch;
+
+  Impl(const SetSeqSpec& s, size_t cap, size_t nthreads)
+      : spec(&s), max_configs(cap), threads(nthreads == 0 ? 1 : nthreads) {
     Config c;
     c.state = s.initial();
-    frontier.push_back(std::move(c));
+    if (threads > 1) {
+      make_shards();
+      shards->seed(std::move(c));
+    } else {
+      frontier.push_back(std::move(c));
+    }
   }
 
   Impl(const Impl& o)
-      : spec(o.spec), max_configs(o.max_configs), ok(o.ok), open(o.open) {
-    frontier.reserve(o.frontier.size());
-    for (const Config& c : o.frontier) frontier.push_back(c.clone());
+      : spec(o.spec), max_configs(o.max_configs), threads(o.threads),
+        ok(o.ok), overflowed(o.overflowed), open(o.open) {
+    if (threads > 1) {
+      make_shards();
+      shards->clone_from(*o.shards);
+    } else {
+      frontier.reserve(o.frontier.size());
+      for (const Config& c : o.frontier) frontier.push_back(c.clone());
+    }
+  }
+
+  void make_shards() {
+    pool = std::make_unique<parallel::ShardPool>(threads);
+    shards = std::make_unique<parallel::ShardedFrontier<Config>>(*pool,
+                                                                 max_configs);
+    scratch.resize(threads);
+  }
+
+  size_t frontier_size() const {
+    return threads > 1 ? shards->size() : frontier.size();
   }
 
   // Closure under simultaneous linearization of any non-empty batch of open,
@@ -77,11 +113,33 @@ struct SetLinMonitor::Impl {
   }
 
   void feed(const Event& e) {
-    if (!ok) return;
+    if (!ok || overflowed) return;
     if (e.is_inv()) {
       open.push_back(e.op);
       return;
     }
+    try {
+      if (threads > 1) {
+        feed_res_parallel(e);
+      } else {
+        feed_res_sequential(e);
+      }
+    } catch (...) {
+      // Release in-flight configurations and poison the monitor (sticky
+      // overflowed()); the exception still propagates to the caller.
+      overflowed = true;
+      if (threads > 1) {
+        shards->release_all();
+      } else {
+        for (Config& c : frontier) eng.pool.release(std::move(c.state));
+        frontier.clear();
+      }
+      throw;
+    }
+    erase_open(e.op.id);
+  }
+
+  void feed_res_sequential(const Event& e) {
     std::vector<Config> expanded = closure();
     std::vector<Config> filtered;
     filtered.reserve(expanded.size());
@@ -99,21 +157,61 @@ struct SetLinMonitor::Impl {
         eng.pool.release(std::move(c.state));
       }
     }
+    for (Config& c : frontier) eng.pool.release(std::move(c.state));
+    frontier = std::move(filtered);
+    if (frontier.empty()) ok = false;
+  }
+
+  void feed_res_parallel(const Event& e) {
+    shards->closure([this](size_t s, const Config& c, auto& emit) {
+      DedupEngine& weng = pool->engine(s);
+      Scratch& sc = scratch[s];
+      sc.cand.clear();
+      for (const OpDesc& od : open) {
+        if (c.find(od.id) == nullptr) sc.cand.push_back(od);
+      }
+      if (sc.cand.empty()) return;
+      if (sc.cand.size() > 20) throw CheckerOverflow{};
+      for (uint32_t mask = 1; mask < (1u << sc.cand.size()); ++mask) {
+        sc.batch.clear();
+        for (size_t b = 0; b < sc.cand.size(); ++b) {
+          if (mask & (1u << b)) sc.batch.push_back(sc.cand[b]);
+        }
+        Config next = c.clone_with(weng.pool);
+        sc.out.assign(sc.batch.size(), kNoArg);
+        if (!spec->step_set(*next.state, sc.batch, sc.out)) {
+          weng.pool.release(std::move(next.state));
+          continue;
+        }
+        for (size_t b = 0; b < sc.batch.size(); ++b) {
+          next.add(sc.batch[b].id, sc.out[b]);
+        }
+        emit(std::move(next));
+      }
+    });
+    shards->filter([&e](size_t, Config& c) {
+      const lincheck::LinearizedOp* l = c.find(e.op.id);
+      if (l == nullptr || l->assigned != e.result) return false;
+      c.remove(e.op.id);
+      return true;
+    });
+    if (shards->size() == 0) ok = false;
+  }
+
+  void erase_open(OpId id) {
     for (size_t i = 0; i < open.size(); ++i) {
-      if (open[i].id == e.op.id) {
+      if (open[i].id == id) {
         open[i] = open.back();
         open.pop_back();
         break;
       }
     }
-    for (Config& c : frontier) eng.pool.release(std::move(c.state));
-    frontier = std::move(filtered);
-    if (frontier.empty()) ok = false;
   }
 };
 
-SetLinMonitor::SetLinMonitor(const SetSeqSpec& spec, size_t max_configs)
-    : impl_(std::make_unique<Impl>(spec, max_configs)) {}
+SetLinMonitor::SetLinMonitor(const SetSeqSpec& spec, size_t max_configs,
+                             size_t threads)
+    : impl_(std::make_unique<Impl>(spec, max_configs, threads)) {}
 
 SetLinMonitor::SetLinMonitor(const SetLinMonitor& other)
     : impl_(std::make_unique<Impl>(*other.impl_)) {}
@@ -122,14 +220,16 @@ SetLinMonitor::~SetLinMonitor() = default;
 
 void SetLinMonitor::feed(const Event& e) { impl_->feed(e); }
 bool SetLinMonitor::ok() const { return impl_->ok; }
+bool SetLinMonitor::overflowed() const { return impl_->overflowed; }
+size_t SetLinMonitor::frontier_size() const { return impl_->frontier_size(); }
 
 std::unique_ptr<MembershipMonitor> SetLinMonitor::clone() const {
   return std::make_unique<SetLinMonitor>(*this);
 }
 
 bool set_linearizable(const SetSeqSpec& spec, const History& h,
-                      size_t max_configs) {
-  SetLinMonitor m(spec, max_configs);
+                      size_t max_configs, size_t threads) {
+  SetLinMonitor m(spec, max_configs, threads);
   for (const Event& e : h) {
     m.feed(e);
     if (!m.ok()) return false;

@@ -14,15 +14,25 @@
 
 namespace selin {
 
+/// `threads > 1` expands batch closures on a fingerprint-routed shard pool
+/// (parallel/sharded_frontier.hpp); verdicts and frontier contents are
+/// identical to the sequential engine, the default at `threads == 1`.
 class SetLinMonitor final : public MembershipMonitor {
  public:
-  explicit SetLinMonitor(const SetSeqSpec& spec, size_t max_configs = 1 << 18);
+  explicit SetLinMonitor(const SetSeqSpec& spec, size_t max_configs = 1 << 18,
+                         size_t threads = 1);
   SetLinMonitor(const SetLinMonitor& other);
   ~SetLinMonitor() override;
 
   void feed(const Event& e) override;
   bool ok() const override;
   std::unique_ptr<MembershipMonitor> clone() const override;
+
+  /// Sticky overflow flag; see LinMonitor::overflowed().
+  bool overflowed() const;
+
+  /// Number of live configurations (diagnostics / determinism tests).
+  size_t frontier_size() const;
 
  private:
   struct Impl;
@@ -31,6 +41,6 @@ class SetLinMonitor final : public MembershipMonitor {
 
 /// One-shot test: is `h` set-linearizable with respect to `spec`?
 bool set_linearizable(const SetSeqSpec& spec, const History& h,
-                      size_t max_configs = 1 << 18);
+                      size_t max_configs = 1 << 18, size_t threads = 1);
 
 }  // namespace selin

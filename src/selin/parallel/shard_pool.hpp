@@ -1,0 +1,76 @@
+// Persistent worker pool for sharded frontier expansion.
+//
+// A ShardPool owns `threads` lanes: lane 0 is the calling thread, lanes
+// 1..threads-1 are persistent worker threads, spawned lazily on the first
+// parallel dispatch (monitors are cloned eagerly — e.g. the leveled
+// checker's checkpoints — and most clones never feed a wide frontier, so a
+// dormant pool must cost nothing but its engines).  Each lane owns a private
+// lincheck::DedupEngine (Arena + FpSet dedup tables + StatePool), so every
+// mutation of dedup state during a phase is single-writer by construction.
+//
+// Dispatch is epoch-based: run(job) publishes the job, bumps the epoch, and
+// executes lane 0 inline while the workers pick the epoch up from a brief
+// spin (epochs arrive in bursts while a monitor feeds) that falls back to a
+// condition variable so an idle pool consumes no CPU.  Jobs must not block
+// on one another — the phase protocol in ShardedFrontier synchronizes
+// exclusively at run() boundaries, which act as the inter-round barriers —
+// so completion is a simple counter the controller waits on.  A job
+// exception is captured in the throwing lane and rethrown on the caller
+// after every lane has finished, leaving the pool reusable.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "selin/lincheck/config.hpp"
+
+namespace selin::parallel {
+
+class ShardPool {
+ public:
+  explicit ShardPool(size_t threads);
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+  ~ShardPool();
+
+  size_t threads() const { return n_; }
+
+  /// Lane-private dedup machinery; only lane `worker` may touch it while a
+  /// job is in flight.
+  lincheck::DedupEngine& engine(size_t worker) { return *engines_[worker]; }
+
+  /// Run job(worker) once per lane, in parallel; returns when all lanes are
+  /// done.  Rethrows the first captured job exception.
+  void run(const std::function<void(size_t)>& job);
+
+  /// Run job(worker) once per lane on the calling thread (small phases where
+  /// dispatch overhead would dominate).  Phase results are identical to
+  /// run(): jobs are functions of the lane index only.
+  void run_serial(const std::function<void(size_t)>& job);
+
+ private:
+  void spawn();
+  void worker_loop(size_t index);
+
+  size_t n_;
+  std::vector<std::unique_ptr<lincheck::DedupEngine>> engines_;
+  std::vector<std::exception_ptr> errors_;  // one slot per lane
+
+  const std::function<void(size_t)>* job_ = nullptr;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<size_t> done_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;  // lanes 1..n_-1, spawned lazily
+};
+
+}  // namespace selin::parallel

@@ -1,0 +1,12 @@
+// sharded_frontier.hpp is a header-only template; this translation unit
+// mirrors the module list in DESIGN.md, gives the header a standalone
+// compile check, and pins one explicit instantiation for the common case.
+#include "selin/parallel/sharded_frontier.hpp"
+
+#include "selin/lincheck/config.hpp"
+
+namespace selin::parallel {
+
+template class ShardedFrontier<lincheck::Config>;
+
+}  // namespace selin::parallel

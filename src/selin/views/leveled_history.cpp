@@ -82,7 +82,7 @@ void LeveledChecker::feed_level(const Level& lvl) {
 bool LeveledChecker::resync(const XBuilder& builder, size_t from_level) {
   const auto& levels = builder.levels();
   if (cur_ == nullptr) {
-    cur_ = obj_->monitor();
+    cur_ = obj_->monitor(threads_);
     fed_ = 0;
   }
   if (from_level < fed_) {
@@ -90,7 +90,7 @@ bool LeveledChecker::resync(const XBuilder& builder, size_t from_level) {
     // below from_level and replay.
     size_t ckpt = from_level / stride_;  // checkpoints below
     if (ckpt == 0) {
-      cur_ = obj_->monitor();
+      cur_ = obj_->monitor(threads_);
       fed_ = 0;
     } else {
       cur_ = checkpoints_[ckpt - 1]->clone();

@@ -65,11 +65,21 @@ class XBuilder {
 /// live monitor directly, so the amortized per-operation cost is one level.
 class LeveledChecker {
  public:
+  /// Tuned default for `checkpoint_stride` (bench_ablation sweeps it);
+  /// callers that only want to set later parameters name this instead of
+  /// repeating the number.
+  static constexpr size_t kDefaultStride = 16;
+
   /// `checkpoint_stride` trades rollback-replay cost (≤ stride-1 levels)
   /// against checkpoint memory/clone cost (one monitor clone per stride
   /// levels).  bench_ablation sweeps it; 16 is the tuned default.
-  explicit LeveledChecker(const GenLinObject& obj, size_t checkpoint_stride = 16)
-      : obj_(&obj), stride_(checkpoint_stride == 0 ? 1 : checkpoint_stride) {}
+  /// `threads` is forwarded to the object's monitor factory (0 = object
+  /// default; > 1 requests the parallel sharded frontier engine).
+  explicit LeveledChecker(const GenLinObject& obj,
+                          size_t checkpoint_stride = kDefaultStride,
+                          size_t threads = 0)
+      : obj_(&obj), stride_(checkpoint_stride == 0 ? 1 : checkpoint_stride),
+        threads_(threads) {}
 
   /// Re-evaluates after the builder changed at `from_level`; returns the
   /// current verdict X(λ) ∈ O.
@@ -84,6 +94,7 @@ class LeveledChecker {
 
   const GenLinObject* obj_;
   size_t stride_;
+  size_t threads_ = 0;
   std::unique_ptr<MembershipMonitor> cur_;  // state after levels [0, fed_)
   size_t fed_ = 0;                          // levels consumed by cur_
   /// checkpoints_[i] = monitor state after (i+1)*stride_ levels.

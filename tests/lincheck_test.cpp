@@ -122,6 +122,23 @@ TEST(LinMonitor, OverflowThrows) {
   EXPECT_THROW(m.feed(Event::res(es[0], kTrue)), CheckerOverflow);
 }
 
+TEST(FindLinearization, DeepHistoryDoesNotOverflowNativeStack) {
+  // 120k sequential ops = 240k events: the recursive DFS this checker used
+  // to run would need a ~360k-deep call chain here, well past the native
+  // stack; the explicit-stack search must handle it within max_visited.
+  auto spec = make_counter_spec();
+  OpFactory f;
+  History h;
+  constexpr size_t kOps = 120'000;
+  h.reserve(kOps * 2);
+  for (size_t i = 0; i < kOps; ++i) {
+    test::seq_op(h, f, 0, Method::kInc, kNoArg, static_cast<Value>(i + 1));
+  }
+  auto lin = find_linearization(*spec, h);
+  ASSERT_TRUE(lin.has_value());
+  EXPECT_EQ(lin->size(), h.size());
+}
+
 TEST(FindLinearization, ProducesValidWitness) {
   auto spec = make_stack_spec();
   OpFactory f;

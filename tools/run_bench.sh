@@ -39,6 +39,29 @@ def load(path):
 
 result = {"bench_lincheck": load(lincheck), "bench_detection": load(detection)}
 
+# parallel_scaling facet: verified-op throughput of the sharded frontier
+# engine by shard count (BM_ParallelFrontierScaling), plus speedups vs one
+# shard.  Meaningful scaling requires cores >= shards; num_cpus is recorded
+# alongside so single-core hosts aren't misread as regressions.
+per_shard = {}
+for b in result["bench_lincheck"]["benchmarks"]:
+    name = b.get("name", "")
+    if name.startswith("BM_ParallelFrontierScaling/") and b.get("run_type") != "aggregate":
+        shards = name.split("/")[1]
+        if "items_per_second" in b:
+            per_shard[shards] = b["items_per_second"]
+if per_shard:
+    base = per_shard.get("1")
+    result["parallel_scaling"] = {
+        "workload": "frontier-width-sweep (2^12-wide stack frontier, "
+                    "overlapping push/pop stream)",
+        "num_cpus": result["bench_lincheck"]["context"].get("num_cpus"),
+        "items_per_second_by_shards": per_shard,
+        "speedup_vs_1_shard": {
+            s: (v / base if base else None) for s, v in per_shard.items()
+        },
+    }
+
 # Preserve the recorded baseline (string-key engine) if present, so the
 # speedup trajectory stays visible.
 try:
