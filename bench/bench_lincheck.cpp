@@ -189,4 +189,56 @@ BENCHMARK(BM_ParallelFrontierScaling)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+// Adaptive engine on a width-swinging workload: phases of wide ambiguity
+// (2^10 frontier) resolved back down to width 1, repeated.  threads=auto
+// should track the sequential engine on the narrow phases and the sharded
+// engine on the wide ones; compare against the fixed-mode rows (arg 0 =
+// auto, otherwise the literal thread count).
+History make_width_swing_history(size_t phases, size_t k) {
+  History h;
+  Value v = 1;
+  uint32_t seq0 = 0, seq1 = 0, seq2 = 0;
+  for (size_t ph = 0; ph < phases; ++ph) {
+    std::vector<std::pair<Value, Value>> pairs;
+    for (size_t i = 0; i < k; ++i) {
+      OpDesc a{OpId{0, seq0++}, Method::kPush, v++};
+      OpDesc b{OpId{1, seq1++}, Method::kPush, v++};
+      pairs.emplace_back(a.arg, b.arg);
+      h.push_back(Event::inv(a));
+      h.push_back(Event::inv(b));
+      h.push_back(Event::res(a, kTrue));
+      h.push_back(Event::res(b, kTrue));
+    }
+    for (size_t i = k; i-- > 0;) {
+      for (Value popped : {pairs[i].second, pairs[i].first}) {
+        OpDesc d{OpId{2, seq2++}, Method::kPop};
+        h.push_back(Event::inv(d));
+        h.push_back(Event::res(d, popped));
+      }
+    }
+  }
+  return h;
+}
+
+void BM_AdaptiveWidthSwing(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  if (threads == 0) threads = engine::kAutoThreads;
+  auto spec = make_stack_spec();
+  History h = make_width_swing_history(/*phases=*/3, /*k=*/10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        linearizable(*spec, h, /*max_configs=*/1 << 22, threads));
+  }
+  state.SetLabel(state.range(0) == 0
+                     ? "threads=auto"
+                     : "threads=" + std::to_string(threads));
+  state.SetItemsProcessed(state.iterations() * h.size() / 2);
+}
+
+BENCHMARK(BM_AdaptiveWidthSwing)
+    ->Arg(1)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 }  // namespace

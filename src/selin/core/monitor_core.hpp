@@ -32,9 +32,10 @@ class MonitorCore {
   /// contexts (per-process in Figures 10/11; per-verifier in Figure 12).
   /// `checker_threads` is forwarded to each checker's membership monitors
   /// (0 = the object's default; > 1 runs the membership test P_O on the
-  /// parallel sharded frontier engine — the monitor threads belong to the
-  /// checker that owns them, so the wait-free cross-thread protocol through
-  /// M is unchanged).
+  /// parallel sharded frontier engine; engine::kAutoThreads picks
+  /// sequential vs sharded per feed round — the monitor threads belong to
+  /// the checker that owns them, so the wait-free cross-thread protocol
+  /// through M is unchanged).
   MonitorCore(size_t n_producers, size_t n_checkers, const GenLinObject& obj,
               SnapshotKind kind = SnapshotKind::kDoubleCollect,
               size_t checker_threads = 0);

@@ -1,0 +1,313 @@
+// The generic frontier engine behind all three membership checkers.
+//
+// The paper's membership test P_O is instantiated three times in this repo —
+// linearizability, set-linearizability, interval-linearizability — and all
+// three share the same skeleton: maintain the frontier of configurations
+// consistent with the events fed so far; on every response event, expand the
+// frontier to its closure under the semantics' linearization moves, then
+// filter on the observed response value.  FrontierEngine<Policy> owns that
+// skeleton once:
+//
+//   * the sequential engine (a plain vector + one DedupEngine),
+//   * the sharded parallel engine (ShardPool + fingerprint-routed
+//     ShardedFrontier, lazily constructed),
+//   * adaptive sequential↔sharded execution (`threads` with the auto bit,
+//     see stats.hpp) chosen per feed round by frontier-width hysteresis,
+//   * open-op bookkeeping, dedup, state recycling, cloning,
+//   * the feed-boundary exception discipline (sticky overflowed(), every
+//     in-flight state released, CheckerOverflow rethrown),
+//   * execution stats (EngineStats).
+//
+// A Policy captures everything semantics-specific:
+//
+//   struct Policy {
+//     using Config = ...;            // lincheck::Config or engine::IConfig
+//     struct alignas(64) Scratch {}; // per-lane expansion scratch
+//     std::unique_ptr<SeqState> initial_state() const;
+//     template <typename GetCfg, typename Emit>
+//     void expand(lincheck::StatePool& pool, Scratch& scratch,
+//                 std::span<const OpDesc> open, GetCfg&& cfg,
+//                 Emit&& emit) const;         // successors of one config;
+//         // cfg() returns the configuration and MUST be re-fetched after
+//         // every emit (the sequential engine expands in place and emit may
+//         // reallocate the closure vector)
+//     bool match(Config& c, const Event& res) const;  // response filter;
+//         // true keeps (and mutates) the configuration, false drops it
+//   };
+//
+// The closure set and the filtered frontier are fixpoints, independent of
+// how work is split, so verdicts and frontier sizes are identical across
+// threads ∈ {1, N, auto} — tests/engine_parity_test.cpp asserts this per
+// event across every concrete spec.
+//
+// Adaptive mode: sharding pays off only when a round has enough work to
+// amortize dispatch, and the round's work is governed by the width of the
+// frontier being expanded.  An adaptive engine therefore watches the
+// frontier width between feeds: at or above kAutoEngageWidth it migrates the
+// frontier into the sharded representation (routing by fingerprint; the
+// frontier is already deduplicated, so migration is a move), below
+// kAutoRetreatWidth it drains the shards back into the flat vector.  The gap
+// between the thresholds is hysteresis — a frontier oscillating around one
+// boundary does not thrash representations.  Narrow-frontier feeds skip
+// shard dispatch (and its outbox/routing overhead) entirely; the worker
+// threads themselves are spawned lazily by the pool on the first genuinely
+// wide phase.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "selin/engine/stats.hpp"
+#include "selin/parallel/sharded_frontier.hpp"
+
+namespace selin::engine {
+
+/// Frontier width at/above which an adaptive engine runs the round sharded.
+inline constexpr size_t kAutoEngageWidth = 384;
+/// Width below which it falls back to the sequential representation.
+inline constexpr size_t kAutoRetreatWidth = 96;
+/// Lane cap when the auto knob resolves the lane count from the hardware
+/// (beyond this the outbox handoff dominates on the workloads we model).
+inline constexpr size_t kAutoMaxLanes = 8;
+
+/// Lanes an adaptive engine uses for its parallel rounds: the explicit
+/// request, or hardware_concurrency clamped to [1, kAutoMaxLanes].
+inline size_t resolve_auto_lanes(size_t requested) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<size_t>(hw, 1, kAutoMaxLanes);
+}
+
+template <typename Policy>
+class FrontierEngine {
+ public:
+  using Config = typename Policy::Config;
+
+  FrontierEngine(Policy policy, size_t max_configs, size_t threads)
+      : policy_(std::move(policy)), max_configs_(max_configs) {
+    if (is_auto_threads(threads)) {
+      adaptive_ = true;
+      lanes_ = resolve_auto_lanes(auto_lane_request(threads));
+    } else {
+      lanes_ = threads == 0 ? 1 : threads;
+    }
+    scratch_.resize(lanes_);
+    Config c;
+    c.state = policy_.initial_state();
+    if (!adaptive_ && lanes_ > 1) {
+      make_shards();
+      shards_->seed(std::move(c));
+      parallel_active_ = true;
+    } else {
+      frontier_.push_back(std::move(c));
+    }
+  }
+
+  FrontierEngine(const FrontierEngine& o)
+      : policy_(o.policy_), max_configs_(o.max_configs_), lanes_(o.lanes_),
+        adaptive_(o.adaptive_), ok_(o.ok_), overflowed_(o.overflowed_),
+        open_(o.open_), base_stats_(o.stats()) {
+    scratch_.resize(lanes_);
+    if (o.parallel_active_) {
+      make_shards();
+      shards_->clone_from(*o.shards_);
+      parallel_active_ = true;
+    } else {
+      frontier_.reserve(o.frontier_.size());
+      for (const Config& c : o.frontier_) frontier_.push_back(c.clone());
+    }
+  }
+
+  FrontierEngine& operator=(const FrontierEngine&) = delete;
+
+  void feed(const Event& e) {
+    if (!ok_ || overflowed_) return;
+    ++base_stats_.events_fed;
+    if (e.is_inv()) {
+      open_.push_back(e.op);
+      return;
+    }
+    try {
+      if (adaptive_) adapt();
+      if (parallel_active_) {
+        ++base_stats_.rounds_parallel;
+        feed_res_parallel(e);
+      } else {
+        ++base_stats_.rounds_sequential;
+        feed_res_sequential(e);
+      }
+    } catch (...) {
+      // The half-expanded frontier no longer reflects the fed prefix.
+      // Release everything and poison the engine (sticky overflowed())
+      // rather than leave it open to undefined reuse; the exception still
+      // propagates so one-shot callers see CheckerOverflow as before.
+      overflowed_ = true;
+      release_everything();
+      throw;
+    }
+    erase_open(e.op.id);
+    base_stats_.peak_frontier =
+        std::max(base_stats_.peak_frontier, frontier_size());
+  }
+
+  bool ok() const { return ok_; }
+  bool overflowed() const { return overflowed_; }
+
+  size_t frontier_size() const {
+    return parallel_active_ ? shards_->size() : frontier_.size();
+  }
+
+  /// Counters aggregated across the sequential engine and every lane.
+  EngineStats stats() const {
+    EngineStats s = base_stats_;
+    s.lanes = lanes_;
+    accumulate(s, eng_);
+    if (pool_ != nullptr) {
+      for (size_t i = 0; i < pool_->threads(); ++i) {
+        accumulate(s, pool_->engine(i));
+      }
+    }
+    return s;
+  }
+
+ private:
+  static void accumulate(EngineStats& s, const lincheck::DedupEngine& e) {
+    s.dedup_probes += e.probes;
+    s.dedup_hits += e.hits;
+    s.states_recycled += e.pool.recycled();
+  }
+
+  void make_shards() {
+    pool_ = std::make_unique<parallel::ShardPool>(lanes_);
+    shards_ =
+        std::make_unique<parallel::ShardedFrontier<Config>>(*pool_,
+                                                            max_configs_);
+  }
+
+  std::span<const OpDesc> open_span() const {
+    return {open_.data(), open_.size()};
+  }
+
+  /// Adaptive representation switch, between feeds only (both directions
+  /// move already-deduplicated configurations, so the frontier's content is
+  /// untouched and verdicts cannot depend on when a switch happens).
+  void adapt() {
+    if (lanes_ <= 1) return;
+    const size_t width = frontier_size();
+    if (!parallel_active_ && width >= kAutoEngageWidth) {
+      if (shards_ == nullptr) make_shards();
+      shards_->adopt(std::move(frontier_));
+      frontier_.clear();
+      parallel_active_ = true;
+    } else if (parallel_active_ && width < kAutoRetreatWidth) {
+      shards_->drain(frontier_);
+      parallel_active_ = false;
+    }
+  }
+
+  // All configurations reachable from the frontier by any sequence of the
+  // policy's linearization moves (index-based BFS with dedup; `result` may
+  // reallocate under emit, which is why the policy receives the
+  // configuration as a re-fetching accessor rather than a reference — see
+  // the policy contract in policies.hpp).
+  std::vector<Config> closure() {
+    eng_.seen.clear();
+    std::vector<Config> result;
+    result.reserve(frontier_.size() * 2);
+    for (const Config& c : frontier_) {
+      if (eng_.probe(eng_.seen, c)) result.push_back(c.clone_with(eng_.pool));
+    }
+    auto emit = [&](Config&& next) {
+      if (eng_.probe(eng_.seen, next)) {
+        if (result.size() >= max_configs_) throw CheckerOverflow{};
+        result.push_back(std::move(next));
+      } else {
+        eng_.pool.release(std::move(next.state));
+      }
+    };
+    for (size_t i = 0; i < result.size(); ++i) {
+      auto cfg = [&result, i]() -> const Config& { return result[i]; };
+      policy_.expand(eng_.pool, scratch_[0], open_span(), cfg, emit);
+    }
+    return result;
+  }
+
+  void feed_res_sequential(const Event& e) {
+    std::vector<Config> expanded = closure();
+    std::vector<Config> filtered;
+    filtered.reserve(expanded.size());
+    eng_.filter_seen.clear();
+    for (Config& c : expanded) {
+      if (!policy_.match(c, e)) {
+        eng_.pool.release(std::move(c.state));
+        continue;
+      }
+      if (eng_.probe(eng_.filter_seen, c)) {
+        filtered.push_back(std::move(c));
+      } else {
+        eng_.pool.release(std::move(c.state));
+      }
+    }
+    for (Config& c : frontier_) eng_.pool.release(std::move(c.state));
+    frontier_ = std::move(filtered);
+    if (frontier_.empty()) ok_ = false;
+  }
+
+  void feed_res_parallel(const Event& e) {
+    shards_->closure([this](size_t s, const Config& c, auto& emit) {
+      auto cfg = [&c]() -> const Config& { return c; };
+      policy_.expand(pool_->engine(s).pool, scratch_[s], open_span(), cfg,
+                     emit);
+    });
+    shards_->filter(
+        [this, &e](size_t, Config& c) { return policy_.match(c, e); });
+    if (shards_->size() == 0) ok_ = false;
+  }
+
+  void release_everything() {
+    for (Config& c : frontier_) eng_.pool.release(std::move(c.state));
+    frontier_.clear();
+    if (shards_ != nullptr) shards_->release_all();
+  }
+
+  void erase_open(OpId id) {
+    for (size_t i = 0; i < open_.size(); ++i) {
+      if (open_[i].id == id) {
+        open_[i] = open_.back();  // order is irrelevant: swap-erase
+        open_.pop_back();
+        break;
+      }
+    }
+  }
+
+  Policy policy_;
+  size_t max_configs_;
+  size_t lanes_ = 1;        // shard/lane count of the parallel path
+  bool adaptive_ = false;   // per-round engine choice (threads = auto)
+  bool parallel_active_ = false;  // which representation holds the frontier
+  bool ok_ = true;
+  bool overflowed_ = false;
+
+  std::vector<OpDesc> open_;  // invoked, response not yet fed
+
+  // Sequential representation.
+  std::vector<Config> frontier_;
+  lincheck::DedupEngine eng_;
+
+  // Sharded representation (constructed lazily; adaptive engines may never
+  // need it, and eagerly cloned monitors must stay cheap while dormant).
+  std::unique_ptr<parallel::ShardPool> pool_;
+  std::unique_ptr<parallel::ShardedFrontier<Config>> shards_;
+
+  std::vector<typename Policy::Scratch> scratch_;  // one per lane
+
+  // Rounds/peak/events live here; dedup and recycling counters are read
+  // from the engines at stats() time.  Copies snapshot the source's full
+  // aggregate into base_stats_, so stats survive cloning.
+  EngineStats base_stats_;
+};
+
+}  // namespace selin::engine

@@ -1,0 +1,302 @@
+// The three membership semantics as FrontierEngine policies.
+//
+// Each policy supplies exactly what differs between the checkers: the
+// configuration type, the closure moves (expand), and the response filter
+// (match).  Everything else — frontier maintenance, dedup, recycling,
+// sharding, adaptive execution, overflow discipline, stats — lives once in
+// FrontierEngine (frontier_engine.hpp).
+//
+//   LinPolicy       one open operation linearizes per move (Wing & Gong
+//                   configurations; Definition 4.2).
+//   SetLinPolicy    a non-empty *batch* of open operations linearizes
+//                   simultaneously through the set-sequential transition
+//                   (Neiger [81]; Section 7.1).
+//   IntervalPolicy  two moves: machine-invoke a non-empty subset of
+//                   history-open operations, or machine-respond a
+//                   machine-open operation (Castañeda–Rajsbaum–Raynal [17]).
+//
+// Scratch structs are per-lane (the engine allocates one per shard lane) and
+// cache-line aligned so neighboring lanes never share a line while the
+// expansion loops rewrite the vector headers.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "selin/lincheck/checker.hpp"
+#include "selin/lincheck/config.hpp"
+#include "selin/lincheck/intervallin.hpp"
+#include "selin/spec/spec.hpp"
+
+namespace selin::engine {
+
+// ---------------------------------------------------------------------------
+// Linearizability
+// ---------------------------------------------------------------------------
+
+struct LinPolicy {
+  using Config = lincheck::Config;
+  struct alignas(64) Scratch {};
+
+  const SeqSpec* spec;
+
+  std::unique_ptr<SeqState> initial_state() const { return spec->initial(); }
+
+  template <typename GetCfg, typename Emit>
+  void expand(lincheck::StatePool& pool, Scratch&,
+              std::span<const OpDesc> open, GetCfg&& cfg, Emit&& emit) const {
+    for (const OpDesc& od : open) {
+      const Config& c = cfg();  // re-fetch: the previous emit may have moved it
+      if (c.find(od.id) != nullptr) continue;
+      Config next = c.clone_with(pool);
+      Value assigned = next.state->step(od.method, od.arg);
+      next.add(od.id, assigned);
+      emit(std::move(next));
+    }
+  }
+
+  // Every surviving configuration must have linearized e.op with exactly the
+  // observed result; the op then leaves the linearized set.
+  bool match(Config& c, const Event& e) const {
+    const lincheck::LinearizedOp* l = c.find(e.op.id);
+    if (l == nullptr || l->assigned != e.result) return false;
+    c.remove(e.op.id);
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Set-linearizability
+// ---------------------------------------------------------------------------
+
+struct SetLinPolicy {
+  using Config = lincheck::Config;
+  struct alignas(64) Scratch {
+    std::vector<OpDesc> cand;
+    std::vector<OpDesc> batch;
+    std::vector<Value> out;
+  };
+
+  const SetSeqSpec* spec;
+
+  std::unique_ptr<SeqState> initial_state() const { return spec->initial(); }
+
+  template <typename GetCfg, typename Emit>
+  void expand(lincheck::StatePool& pool, Scratch& sc,
+              std::span<const OpDesc> open, GetCfg&& cfg, Emit&& emit) const {
+    {
+      const Config& c = cfg();  // no emit happens while cand is gathered
+      sc.cand.clear();
+      for (const OpDesc& od : open) {
+        if (c.find(od.id) == nullptr) sc.cand.push_back(od);
+      }
+    }
+    if (sc.cand.empty()) return;
+    if (sc.cand.size() > 20) throw CheckerOverflow{};
+    for (uint32_t mask = 1; mask < (1u << sc.cand.size()); ++mask) {
+      sc.batch.clear();
+      for (size_t b = 0; b < sc.cand.size(); ++b) {
+        if (mask & (1u << b)) sc.batch.push_back(sc.cand[b]);
+      }
+      Config next = cfg().clone_with(pool);  // re-fetch per emit round
+      sc.out.assign(sc.batch.size(), kNoArg);
+      if (!spec->step_set(*next.state, sc.batch, sc.out)) {
+        pool.release(std::move(next.state));
+        continue;
+      }
+      for (size_t b = 0; b < sc.batch.size(); ++b) {
+        next.add(sc.batch[b].id, sc.out[b]);
+      }
+      emit(std::move(next));
+    }
+  }
+
+  bool match(Config& c, const Event& e) const {
+    const lincheck::LinearizedOp* l = c.find(e.op.id);
+    if (l == nullptr || l->assigned != e.result) return false;
+    c.remove(e.op.id);
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Interval-linearizability
+// ---------------------------------------------------------------------------
+
+struct AssignedOp {
+  OpId id;
+  Value v;
+};
+
+/// A configuration of the interval machine: machine state, the operations
+/// currently open *inside* the machine, and the responses already assigned
+/// (machine-responded, awaiting the history's response event).  Deduplicated
+/// by a 64-bit fingerprint: state fingerprint XOR one Zobrist component per
+/// set-shaped member, each maintained incrementally at the mutation sites.
+struct IConfig {
+  std::unique_ptr<SeqState> state;
+  SmallVec<OpId, 8> machine_open;    // sorted by packed()
+  SmallVec<AssignedOp, 8> assigned;  // sorted by packed()
+  uint64_t open_hash = 0;  // XOR of fph::open_op over machine_open
+  uint64_t asg_hash = 0;   // XOR of fph::lin_op over assigned
+
+  IConfig clone() const {
+    IConfig c;
+    c.state = state->clone();
+    c.machine_open = machine_open;
+    c.assigned = assigned;
+    c.open_hash = open_hash;
+    c.asg_hash = asg_hash;
+    return c;
+  }
+
+  IConfig clone_with(lincheck::StatePool& pool) const {
+    IConfig c;
+    c.state = pool.acquire(*state);
+    c.machine_open = machine_open;
+    c.assigned = assigned;
+    c.open_hash = open_hash;
+    c.asg_hash = asg_hash;
+    return c;
+  }
+
+  uint64_t fingerprint() const {
+    return state->fingerprint() ^ open_hash ^ asg_hash;
+  }
+
+  /// Canonical key (ground truth; audit + diagnostics only).
+  std::string key() const {
+    std::ostringstream os;
+    os << state->encode() << "|";
+    for (OpId id : machine_open) os << id.pid << "." << id.seq << ",";
+    os << "|";
+    for (const auto& [id, v] : assigned) {
+      os << id.pid << "." << id.seq << "=" << v << ";";
+    }
+    return os.str();
+  }
+
+  bool is_machine_open(OpId id) const {
+    return std::binary_search(
+        machine_open.begin(), machine_open.end(), id,
+        [](OpId a, OpId b) { return a.packed() < b.packed(); });
+  }
+
+  void machine_invoke(OpId id) {
+    auto it = std::upper_bound(
+        machine_open.begin(), machine_open.end(), id,
+        [](OpId a, OpId b) { return a.packed() < b.packed(); });
+    machine_open.insert_at(static_cast<size_t>(it - machine_open.begin()), id);
+    open_hash ^= fph::open_op(id.packed());
+  }
+
+  void machine_respond(OpId id, Value v) {
+    auto it = std::upper_bound(
+        assigned.begin(), assigned.end(), id,
+        [](OpId a, const AssignedOp& b) { return a.packed() < b.id.packed(); });
+    assigned.insert_at(static_cast<size_t>(it - assigned.begin()),
+                       AssignedOp{id, v});
+    asg_hash ^= fph::lin_op(id.packed(), v);
+  }
+
+  /// Remove `id` from both machine bookkeeping sets (the op's history
+  /// response has been observed).
+  void retire(OpId id) {
+    for (size_t i = 0; i < assigned.size(); ++i) {
+      if (assigned[i].id == id) {
+        asg_hash ^= fph::lin_op(id.packed(), assigned[i].v);
+        assigned.erase_at(i);
+        break;
+      }
+    }
+    for (size_t i = 0; i < machine_open.size(); ++i) {
+      if (machine_open[i] == id) {
+        open_hash ^= fph::open_op(id.packed());
+        machine_open.erase_at(i);
+        break;
+      }
+    }
+  }
+
+  const Value* find_assigned(OpId id) const {
+    for (const auto& [aid, v] : assigned) {
+      if (aid == id) return &v;
+    }
+    return nullptr;
+  }
+};
+
+struct IntervalPolicy {
+  using Config = IConfig;
+  struct alignas(64) Scratch {
+    std::vector<OpDesc> eligible;
+    std::vector<OpDesc> batch;
+  };
+
+  const IntervalSeqSpec* spec;
+
+  std::unique_ptr<SeqState> initial_state() const { return spec->initial(); }
+
+  template <typename GetCfg, typename Emit>
+  void expand(lincheck::StatePool& pool, Scratch& sc,
+              std::span<const OpDesc> open, GetCfg&& cfg, Emit&& emit) const {
+    // (a) machine-invoke any non-empty subset of history-open ops that are
+    // not yet in the machine.
+    {
+      const IConfig& c = cfg();  // no emit happens while eligible is gathered
+      sc.eligible.clear();
+      for (const OpDesc& od : open) {
+        if (!c.is_machine_open(od.id) && c.find_assigned(od.id) == nullptr) {
+          sc.eligible.push_back(od);
+        }
+      }
+    }
+    if (sc.eligible.size() > 16) throw CheckerOverflow{};
+    for (uint32_t mask = 1; mask < (1u << sc.eligible.size()); ++mask) {
+      sc.batch.clear();
+      for (size_t b = 0; b < sc.eligible.size(); ++b) {
+        if (mask & (1u << b)) sc.batch.push_back(sc.eligible[b]);
+      }
+      IConfig next = cfg().clone_with(pool);  // re-fetch per emit round
+      if (!spec->invoke_set(*next.state, sc.batch)) {
+        pool.release(std::move(next.state));
+        continue;
+      }
+      for (const OpDesc& od : sc.batch) next.machine_invoke(od.id);
+      emit(std::move(next));
+    }
+    // (b) machine-respond any machine-open op lacking an assignment.
+    for (size_t k = 0; k < cfg().machine_open.size(); ++k) {
+      const IConfig& c = cfg();  // re-fetch: the previous emit may have moved it
+      OpId id = c.machine_open[k];
+      if (c.find_assigned(id) != nullptr) continue;
+      const OpDesc* od = find_open(open, id);
+      if (od == nullptr) continue;  // already history-responded earlier
+      IConfig next = c.clone_with(pool);
+      Value v = spec->respond(*next.state, *od);
+      next.machine_respond(id, v);
+      emit(std::move(next));
+    }
+  }
+
+  bool match(IConfig& c, const Event& e) const {
+    const Value* v = c.find_assigned(e.op.id);
+    if (v == nullptr || *v != e.result) return false;
+    // The op leaves the machine and the history bookkeeping.
+    c.retire(e.op.id);
+    return true;
+  }
+
+ private:
+  static const OpDesc* find_open(std::span<const OpDesc> open, OpId id) {
+    for (const OpDesc& od : open) {
+      if (od.id == id) return &od;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace selin::engine

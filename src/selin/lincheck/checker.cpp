@@ -1,7 +1,8 @@
 #include "selin/lincheck/checker.hpp"
 
+#include "selin/engine/frontier_engine.hpp"
+#include "selin/engine/policies.hpp"
 #include "selin/lincheck/config.hpp"
-#include "selin/parallel/sharded_frontier.hpp"
 
 namespace selin {
 
@@ -9,170 +10,15 @@ using lincheck::Config;
 using lincheck::DedupEngine;
 
 // ---------------------------------------------------------------------------
-// LinMonitor
+// LinMonitor — a facade over the generic frontier engine with the
+// linearizability policy (engine/policies.hpp).
 // ---------------------------------------------------------------------------
 
 struct LinMonitor::Impl {
-  const SeqSpec* spec;
-  size_t max_configs;
-  size_t threads;
-  bool ok = true;
-  bool overflowed = false;
-  std::vector<Config> frontier;  // sequential engine (threads == 1)
-  std::vector<OpDesc> open;  // invoked, response not yet fed
+  engine::FrontierEngine<engine::LinPolicy> eng;
 
-  DedupEngine eng;
-
-  // Parallel engine (threads > 1): fingerprint-routed shards, one lane per
-  // shard.  The pool's worker threads spawn lazily on the first phase wide
-  // enough to dispatch, so dormant clones cost nothing.
-  std::unique_ptr<parallel::ShardPool> pool;
-  std::unique_ptr<parallel::ShardedFrontier<Config>> shards;
-
-  Impl(const SeqSpec& s, size_t cap, size_t nthreads)
-      : spec(&s), max_configs(cap), threads(nthreads == 0 ? 1 : nthreads) {
-    Config c;
-    c.state = s.initial();
-    if (threads > 1) {
-      make_shards();
-      shards->seed(std::move(c));
-    } else {
-      frontier.push_back(std::move(c));
-    }
-  }
-
-  Impl(const Impl& o)
-      : spec(o.spec), max_configs(o.max_configs), threads(o.threads),
-        ok(o.ok), overflowed(o.overflowed), open(o.open) {
-    if (threads > 1) {
-      make_shards();
-      shards->clone_from(*o.shards);
-    } else {
-      frontier.reserve(o.frontier.size());
-      for (const Config& c : o.frontier) frontier.push_back(c.clone());
-    }
-  }
-
-  void make_shards() {
-    pool = std::make_unique<parallel::ShardPool>(threads);
-    shards = std::make_unique<parallel::ShardedFrontier<Config>>(*pool,
-                                                                 max_configs);
-  }
-
-  size_t frontier_size() const {
-    return threads > 1 ? shards->size() : frontier.size();
-  }
-
-  // All configurations reachable from `frontier` by linearizing any sequence
-  // of open, not-yet-linearized operations (BFS with dedup).
-  std::vector<Config> closure() {
-    eng.seen.clear();
-    std::vector<Config> result;
-    result.reserve(frontier.size() * 2);
-    for (const Config& c : frontier) {
-      if (eng.probe(eng.seen, c)) result.push_back(c.clone_with(eng.pool));
-    }
-    // Index-based BFS (result may reallocate).
-    for (size_t i = 0; i < result.size(); ++i) {
-      for (const OpDesc& od : open) {
-        if (result[i].find(od.id) != nullptr) continue;
-        Config next = result[i].clone_with(eng.pool);
-        Value assigned = next.state->step(od.method, od.arg);
-        next.add(od.id, assigned);
-        if (eng.probe(eng.seen, next)) {
-          if (result.size() >= max_configs) throw CheckerOverflow{};
-          result.push_back(std::move(next));
-        } else {
-          eng.pool.release(std::move(next.state));
-        }
-      }
-    }
-    return result;
-  }
-
-  void feed(const Event& e) {
-    if (!ok || overflowed) return;
-    if (e.is_inv()) {
-      open.push_back(e.op);
-      return;
-    }
-    // Response of e.op with result e.result: every surviving configuration
-    // must have linearized e.op with exactly that result.
-    try {
-      if (threads > 1) {
-        feed_res_parallel(e);
-      } else {
-        feed_res_sequential(e);
-      }
-    } catch (...) {
-      // The half-expanded frontier no longer reflects the fed prefix.
-      // Release everything and poison the monitor (sticky overflowed())
-      // rather than leave it open to undefined reuse; the exception still
-      // propagates so one-shot callers see CheckerOverflow as before.
-      overflowed = true;
-      if (threads > 1) {
-        shards->release_all();
-      } else {
-        for (Config& c : frontier) eng.pool.release(std::move(c.state));
-        frontier.clear();
-      }
-      throw;
-    }
-    erase_open(e.op.id);
-  }
-
-  void feed_res_sequential(const Event& e) {
-    std::vector<Config> expanded = closure();
-    std::vector<Config> filtered;
-    filtered.reserve(expanded.size());
-    eng.filter_seen.clear();
-    for (Config& c : expanded) {
-      const lincheck::LinearizedOp* l = c.find(e.op.id);
-      if (l == nullptr || l->assigned != e.result) {
-        eng.pool.release(std::move(c.state));
-        continue;
-      }
-      c.remove(e.op.id);
-      if (eng.probe(eng.filter_seen, c)) {
-        filtered.push_back(std::move(c));
-      } else {
-        eng.pool.release(std::move(c.state));
-      }
-    }
-    for (Config& c : frontier) eng.pool.release(std::move(c.state));
-    frontier = std::move(filtered);
-    if (frontier.empty()) ok = false;
-  }
-
-  void feed_res_parallel(const Event& e) {
-    shards->closure([this](size_t s, const Config& c, auto& emit) {
-      DedupEngine& weng = pool->engine(s);
-      for (const OpDesc& od : open) {
-        if (c.find(od.id) != nullptr) continue;
-        Config next = c.clone_with(weng.pool);
-        Value assigned = next.state->step(od.method, od.arg);
-        next.add(od.id, assigned);
-        emit(std::move(next));
-      }
-    });
-    shards->filter([&e](size_t, Config& c) {
-      const lincheck::LinearizedOp* l = c.find(e.op.id);
-      if (l == nullptr || l->assigned != e.result) return false;
-      c.remove(e.op.id);
-      return true;
-    });
-    if (shards->size() == 0) ok = false;
-  }
-
-  void erase_open(OpId id) {
-    for (size_t i = 0; i < open.size(); ++i) {
-      if (open[i].id == id) {
-        open[i] = open.back();  // order is irrelevant: swap-erase, not shift
-        open.pop_back();
-        break;
-      }
-    }
-  }
+  Impl(const SeqSpec& s, size_t cap, size_t threads)
+      : eng(engine::LinPolicy{&s}, cap, threads) {}
 };
 
 LinMonitor::LinMonitor(const SeqSpec& spec, size_t max_configs, size_t threads)
@@ -183,10 +29,11 @@ LinMonitor::LinMonitor(const LinMonitor& other)
 
 LinMonitor::~LinMonitor() = default;
 
-void LinMonitor::feed(const Event& e) { impl_->feed(e); }
-bool LinMonitor::ok() const { return impl_->ok; }
-bool LinMonitor::overflowed() const { return impl_->overflowed; }
-size_t LinMonitor::frontier_size() const { return impl_->frontier_size(); }
+void LinMonitor::feed(const Event& e) { impl_->eng.feed(e); }
+bool LinMonitor::ok() const { return impl_->eng.ok(); }
+bool LinMonitor::overflowed() const { return impl_->eng.overflowed(); }
+size_t LinMonitor::frontier_size() const { return impl_->eng.frontier_size(); }
+engine::EngineStats LinMonitor::stats() const { return impl_->eng.stats(); }
 
 std::unique_ptr<MembershipMonitor> LinMonitor::clone() const {
   return std::make_unique<LinMonitor>(*this);

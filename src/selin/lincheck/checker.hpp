@@ -29,6 +29,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "selin/engine/stats.hpp"
 #include "selin/history/history.hpp"
 #include "selin/spec/spec.hpp"
 
@@ -46,10 +47,13 @@ class CheckerOverflow : public std::runtime_error {
 
 /// Incremental linearizability monitor for a deterministic sequential spec.
 ///
-/// `threads > 1` runs closure expansion and response filtering on a
-/// fingerprint-routed shard pool (parallel/sharded_frontier.hpp) with
-/// `threads` shards; verdicts and frontier contents are identical to the
-/// sequential engine, which remains the default at `threads == 1`.
+/// A thin facade over engine::FrontierEngine (engine/frontier_engine.hpp)
+/// with the linearizability policy.  `threads > 1` runs closure expansion
+/// and response filtering on a fingerprint-routed shard pool with `threads`
+/// shards; `engine::kAutoThreads` (or `engine::auto_threads(n)`) switches
+/// between the sequential and sharded paths per feed round by frontier-width
+/// hysteresis.  Verdicts and frontier sizes are identical across all modes;
+/// `threads == 1`, the sequential engine, remains the default.
 class LinMonitor final : public MembershipMonitor {
  public:
   explicit LinMonitor(const SeqSpec& spec, size_t max_configs = 1 << 18,
@@ -70,6 +74,9 @@ class LinMonitor final : public MembershipMonitor {
 
   /// Number of live configurations (diagnostics / bench counters).
   size_t frontier_size() const;
+
+  /// Execution counters of the underlying engine (see engine/stats.hpp).
+  engine::EngineStats stats() const;
 
  private:
   struct Impl;

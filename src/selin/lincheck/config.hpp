@@ -60,7 +60,10 @@ class StatePool {
     if (!free_.empty()) {
       std::unique_ptr<SeqState> s = std::move(free_.back());
       free_.pop_back();
-      if (s->assign_from(src)) return s;
+      if (s->assign_from(src)) {
+        ++recycled_;
+        return s;
+      }
       disabled_ = true;  // spec does not support recycling
       free_.clear();
     }
@@ -73,9 +76,13 @@ class StatePool {
     }
   }
 
+  /// Acquisitions served by recycling rather than clone() (engine stats).
+  uint64_t recycled() const { return recycled_; }
+
  private:
   static constexpr size_t kMaxPooled = 4096;
   bool disabled_ = false;
+  uint64_t recycled_ = 0;
   std::vector<std::unique_ptr<SeqState>> free_;
 };
 
@@ -172,6 +179,8 @@ struct DedupEngine {
   FpSet seen{arena};         // closure expansion dedup
   FpSet filter_seen{arena};  // response-filter dedup
   StatePool pool;
+  uint64_t probes = 0;  // dedup probes issued (engine stats)
+  uint64_t hits = 0;    // probes that found a duplicate
 
   /// Audit `fp` against the canonical key (built lazily; debug builds only).
   template <typename KeyFn>
@@ -191,18 +200,16 @@ struct DedupEngine {
   bool probe(FpSet& set, const C& c) {
     uint64_t fp = c.fingerprint();
     audit(fp, [&c] { return c.key(); });
-    return set.insert(fp);
+    ++probes;
+    bool fresh = set.insert(fp);
+    if (!fresh) ++hits;
+    return fresh;
   }
 
 #if SELIN_FP_AUDIT
  private:
   CollisionGuard audit_;
 #endif
-};
-
-/// An operation that has been invoked and whose response has not been fed.
-struct OpenOp {
-  OpDesc op;
 };
 
 }  // namespace selin::lincheck

@@ -1,349 +1,22 @@
 #include "selin/lincheck/intervallin.hpp"
 
-#include <algorithm>
 #include <sstream>
 
-#include "selin/lincheck/checker.hpp"
-#include "selin/lincheck/config.hpp"
-#include "selin/parallel/sharded_frontier.hpp"
+#include "selin/engine/frontier_engine.hpp"
+#include "selin/engine/policies.hpp"
 
 namespace selin {
 
-using lincheck::DedupEngine;
-using lincheck::StatePool;
-
-namespace {
-
-struct AssignedOp {
-  OpId id;
-  Value v;
-};
-
-/// A configuration of the interval machine: machine state, the operations
-/// currently open *inside* the machine, and the responses already assigned
-/// (machine-responded, awaiting the history's response event).  Deduplicated
-/// by a 64-bit fingerprint: state fingerprint XOR one Zobrist component per
-/// set-shaped member, each maintained incrementally at the mutation sites.
-struct IConfig {
-  std::unique_ptr<SeqState> state;
-  SmallVec<OpId, 8> machine_open;       // sorted by packed()
-  SmallVec<AssignedOp, 8> assigned;     // sorted by packed()
-  uint64_t open_hash = 0;  // XOR of fph::open_op over machine_open
-  uint64_t asg_hash = 0;   // XOR of fph::lin_op over assigned
-
-  IConfig clone() const {
-    IConfig c;
-    c.state = state->clone();
-    c.machine_open = machine_open;
-    c.assigned = assigned;
-    c.open_hash = open_hash;
-    c.asg_hash = asg_hash;
-    return c;
-  }
-
-  IConfig clone_with(StatePool& pool) const {
-    IConfig c;
-    c.state = pool.acquire(*state);
-    c.machine_open = machine_open;
-    c.assigned = assigned;
-    c.open_hash = open_hash;
-    c.asg_hash = asg_hash;
-    return c;
-  }
-
-  uint64_t fingerprint() const {
-    return state->fingerprint() ^ open_hash ^ asg_hash;
-  }
-
-  /// Canonical key (ground truth; audit + diagnostics only).
-  std::string key() const {
-    std::ostringstream os;
-    os << state->encode() << "|";
-    for (OpId id : machine_open) os << id.pid << "." << id.seq << ",";
-    os << "|";
-    for (const auto& [id, v] : assigned) {
-      os << id.pid << "." << id.seq << "=" << v << ";";
-    }
-    return os.str();
-  }
-
-  bool is_machine_open(OpId id) const {
-    return std::binary_search(
-        machine_open.begin(), machine_open.end(), id,
-        [](OpId a, OpId b) { return a.packed() < b.packed(); });
-  }
-
-  void machine_invoke(OpId id) {
-    auto it = std::upper_bound(
-        machine_open.begin(), machine_open.end(), id,
-        [](OpId a, OpId b) { return a.packed() < b.packed(); });
-    machine_open.insert_at(static_cast<size_t>(it - machine_open.begin()), id);
-    open_hash ^= fph::open_op(id.packed());
-  }
-
-  void machine_respond(OpId id, Value v) {
-    auto it = std::upper_bound(
-        assigned.begin(), assigned.end(), id,
-        [](OpId a, const AssignedOp& b) { return a.packed() < b.id.packed(); });
-    assigned.insert_at(static_cast<size_t>(it - assigned.begin()),
-                       AssignedOp{id, v});
-    asg_hash ^= fph::lin_op(id.packed(), v);
-  }
-
-  /// Remove `id` from both machine bookkeeping sets (the op's history
-  /// response has been observed).
-  void retire(OpId id) {
-    for (size_t i = 0; i < assigned.size(); ++i) {
-      if (assigned[i].id == id) {
-        asg_hash ^= fph::lin_op(id.packed(), assigned[i].v);
-        assigned.erase_at(i);
-        break;
-      }
-    }
-    for (size_t i = 0; i < machine_open.size(); ++i) {
-      if (machine_open[i] == id) {
-        open_hash ^= fph::open_op(id.packed());
-        machine_open.erase_at(i);
-        break;
-      }
-    }
-  }
-
-  const Value* find_assigned(OpId id) const {
-    for (const auto& [aid, v] : assigned) {
-      if (aid == id) return &v;
-    }
-    return nullptr;
-  }
-};
-
-}  // namespace
+// IntervalLinMonitor is a facade over the generic frontier engine with the
+// interval policy (engine/policies.hpp): the closure has two moves —
+// machine-invoke a subset of history-open ops, machine-respond a
+// machine-open op — over engine::IConfig configurations.
 
 struct IntervalLinMonitor::Impl {
-  const IntervalSeqSpec* spec;
-  size_t max_configs;
-  size_t threads;
-  bool ok = true;
-  bool overflowed = false;
-  std::vector<IConfig> frontier;  // sequential engine (threads == 1)
-  std::vector<OpDesc> history_open;  // invoked in the history, not responded
+  engine::FrontierEngine<engine::IntervalPolicy> eng;
 
-  DedupEngine eng;
-
-  // Parallel engine (threads > 1) plus per-lane subset-enumeration scratch.
-  std::unique_ptr<parallel::ShardPool> pool;
-  std::unique_ptr<parallel::ShardedFrontier<IConfig>> shards;
-  struct alignas(64) Scratch {   // lanes write these headers in the inner
-    std::vector<OpDesc> eligible;  // mask loop; keep neighbors off one line
-    std::vector<OpDesc> batch;
-  };
-  std::vector<Scratch> scratch;
-
-  Impl(const IntervalSeqSpec& s, size_t cap, size_t nthreads)
-      : spec(&s), max_configs(cap), threads(nthreads == 0 ? 1 : nthreads) {
-    IConfig c;
-    c.state = s.initial();
-    if (threads > 1) {
-      make_shards();
-      shards->seed(std::move(c));
-    } else {
-      frontier.push_back(std::move(c));
-    }
-  }
-
-  Impl(const Impl& o)
-      : spec(o.spec), max_configs(o.max_configs), threads(o.threads),
-        ok(o.ok), overflowed(o.overflowed), history_open(o.history_open) {
-    if (threads > 1) {
-      make_shards();
-      shards->clone_from(*o.shards);
-    } else {
-      frontier.reserve(o.frontier.size());
-      for (const IConfig& c : o.frontier) frontier.push_back(c.clone());
-    }
-  }
-
-  void make_shards() {
-    pool = std::make_unique<parallel::ShardPool>(threads);
-    shards = std::make_unique<parallel::ShardedFrontier<IConfig>>(*pool,
-                                                                  max_configs);
-    scratch.resize(threads);
-  }
-
-  size_t frontier_size() const {
-    return threads > 1 ? shards->size() : frontier.size();
-  }
-
-  const OpDesc* find_open(OpId id) const {
-    for (const OpDesc& od : history_open) {
-      if (od.id == id) return &od;
-    }
-    return nullptr;
-  }
-
-  // Closure under (a) machine-invoking any non-empty subset of history-open
-  // ops not yet in the machine, and (b) machine-responding any machine-open
-  // op without an assigned value.
-  std::vector<IConfig> closure() {
-    eng.seen.clear();
-    std::vector<IConfig> result;
-    result.reserve(frontier.size() * 2);
-    for (const IConfig& c : frontier) {
-      if (eng.probe(eng.seen, c)) result.push_back(c.clone_with(eng.pool));
-    }
-    std::vector<OpDesc> eligible;
-    std::vector<OpDesc> batch;
-    for (size_t i = 0; i < result.size(); ++i) {
-      // (a) invoke subsets of eligible ops.
-      eligible.clear();
-      for (const OpDesc& od : history_open) {
-        if (!result[i].is_machine_open(od.id) &&
-            result[i].find_assigned(od.id) == nullptr) {
-          eligible.push_back(od);
-        }
-      }
-      if (eligible.size() > 16) throw CheckerOverflow{};
-      for (uint32_t mask = 1; mask < (1u << eligible.size()); ++mask) {
-        batch.clear();
-        for (size_t b = 0; b < eligible.size(); ++b) {
-          if (mask & (1u << b)) batch.push_back(eligible[b]);
-        }
-        IConfig next = result[i].clone_with(eng.pool);
-        if (!spec->invoke_set(*next.state, batch)) {
-          eng.pool.release(std::move(next.state));
-          continue;
-        }
-        for (const OpDesc& od : batch) next.machine_invoke(od.id);
-        if (eng.probe(eng.seen, next)) {
-          if (result.size() >= max_configs) throw CheckerOverflow{};
-          result.push_back(std::move(next));
-        } else {
-          eng.pool.release(std::move(next.state));
-        }
-      }
-      // (b) respond any machine-open op lacking an assignment.
-      for (size_t k = 0; k < result[i].machine_open.size(); ++k) {
-        OpId id = result[i].machine_open[k];
-        if (result[i].find_assigned(id) != nullptr) continue;
-        const OpDesc* od = find_open(id);
-        if (od == nullptr) continue;  // already history-responded earlier
-        IConfig next = result[i].clone_with(eng.pool);
-        Value v = spec->respond(*next.state, *od);
-        next.machine_respond(id, v);
-        if (eng.probe(eng.seen, next)) {
-          if (result.size() >= max_configs) throw CheckerOverflow{};
-          result.push_back(std::move(next));
-        } else {
-          eng.pool.release(std::move(next.state));
-        }
-      }
-    }
-    return result;
-  }
-
-  void feed(const Event& e) {
-    if (!ok || overflowed) return;
-    if (e.is_inv()) {
-      history_open.push_back(e.op);
-      return;
-    }
-    try {
-      if (threads > 1) {
-        feed_res_parallel(e);
-      } else {
-        feed_res_sequential(e);
-      }
-    } catch (...) {
-      // Release in-flight configurations and poison the monitor (sticky
-      // overflowed()); the exception still propagates to the caller.
-      overflowed = true;
-      if (threads > 1) {
-        shards->release_all();
-      } else {
-        for (IConfig& c : frontier) eng.pool.release(std::move(c.state));
-        frontier.clear();
-      }
-      throw;
-    }
-    for (size_t i = 0; i < history_open.size(); ++i) {
-      if (history_open[i].id == e.op.id) {
-        history_open[i] = history_open.back();
-        history_open.pop_back();
-        break;
-      }
-    }
-  }
-
-  void feed_res_sequential(const Event& e) {
-    std::vector<IConfig> expanded = closure();
-    std::vector<IConfig> filtered;
-    filtered.reserve(expanded.size());
-    eng.filter_seen.clear();
-    for (IConfig& c : expanded) {
-      const Value* v = c.find_assigned(e.op.id);
-      if (v == nullptr || *v != e.result) {
-        eng.pool.release(std::move(c.state));
-        continue;
-      }
-      // The op leaves the machine and the history bookkeeping.
-      c.retire(e.op.id);
-      if (eng.probe(eng.filter_seen, c)) {
-        filtered.push_back(std::move(c));
-      } else {
-        eng.pool.release(std::move(c.state));
-      }
-    }
-    for (IConfig& c : frontier) eng.pool.release(std::move(c.state));
-    frontier = std::move(filtered);
-    if (frontier.empty()) ok = false;
-  }
-
-  void feed_res_parallel(const Event& e) {
-    shards->closure([this](size_t s, const IConfig& c, auto& emit) {
-      DedupEngine& weng = pool->engine(s);
-      Scratch& sc = scratch[s];
-      // (a) invoke subsets of eligible ops.
-      sc.eligible.clear();
-      for (const OpDesc& od : history_open) {
-        if (!c.is_machine_open(od.id) && c.find_assigned(od.id) == nullptr) {
-          sc.eligible.push_back(od);
-        }
-      }
-      if (sc.eligible.size() > 16) throw CheckerOverflow{};
-      for (uint32_t mask = 1; mask < (1u << sc.eligible.size()); ++mask) {
-        sc.batch.clear();
-        for (size_t b = 0; b < sc.eligible.size(); ++b) {
-          if (mask & (1u << b)) sc.batch.push_back(sc.eligible[b]);
-        }
-        IConfig next = c.clone_with(weng.pool);
-        if (!spec->invoke_set(*next.state, sc.batch)) {
-          weng.pool.release(std::move(next.state));
-          continue;
-        }
-        for (const OpDesc& od : sc.batch) next.machine_invoke(od.id);
-        emit(std::move(next));
-      }
-      // (b) respond any machine-open op lacking an assignment.
-      for (size_t k = 0; k < c.machine_open.size(); ++k) {
-        OpId id = c.machine_open[k];
-        if (c.find_assigned(id) != nullptr) continue;
-        const OpDesc* od = find_open(id);
-        if (od == nullptr) continue;  // already history-responded earlier
-        IConfig next = c.clone_with(weng.pool);
-        Value v = spec->respond(*next.state, *od);
-        next.machine_respond(id, v);
-        emit(std::move(next));
-      }
-    });
-    shards->filter([&e](size_t, IConfig& c) {
-      const Value* v = c.find_assigned(e.op.id);
-      if (v == nullptr || *v != e.result) return false;
-      // The op leaves the machine and the history bookkeeping.
-      c.retire(e.op.id);
-      return true;
-    });
-    if (shards->size() == 0) ok = false;
-  }
+  Impl(const IntervalSeqSpec& s, size_t cap, size_t threads)
+      : eng(engine::IntervalPolicy{&s}, cap, threads) {}
 };
 
 IntervalLinMonitor::IntervalLinMonitor(const IntervalSeqSpec& spec,
@@ -355,11 +28,16 @@ IntervalLinMonitor::IntervalLinMonitor(const IntervalLinMonitor& other)
 
 IntervalLinMonitor::~IntervalLinMonitor() = default;
 
-void IntervalLinMonitor::feed(const Event& e) { impl_->feed(e); }
-bool IntervalLinMonitor::ok() const { return impl_->ok; }
-bool IntervalLinMonitor::overflowed() const { return impl_->overflowed; }
+void IntervalLinMonitor::feed(const Event& e) { impl_->eng.feed(e); }
+bool IntervalLinMonitor::ok() const { return impl_->eng.ok(); }
+bool IntervalLinMonitor::overflowed() const {
+  return impl_->eng.overflowed();
+}
 size_t IntervalLinMonitor::frontier_size() const {
-  return impl_->frontier_size();
+  return impl_->eng.frontier_size();
+}
+engine::EngineStats IntervalLinMonitor::stats() const {
+  return impl_->eng.stats();
 }
 
 std::unique_ptr<MembershipMonitor> IntervalLinMonitor::clone() const {

@@ -28,6 +28,7 @@
 #include <memory>
 #include <span>
 
+#include "selin/engine/stats.hpp"
 #include "selin/history/history.hpp"
 #include "selin/spec/spec.hpp"
 
@@ -50,9 +51,11 @@ class IntervalSeqSpec {
   virtual Value respond(SeqState& state, const OpDesc& op) const = 0;
 };
 
+/// A facade over engine::FrontierEngine with the interval policy.
 /// `threads > 1` expands the two-move closure on a fingerprint-routed shard
-/// pool (parallel/sharded_frontier.hpp); verdicts and frontier contents are
-/// identical to the sequential engine, the default at `threads == 1`.
+/// pool; `engine::kAutoThreads` picks sequential vs sharded per feed round.
+/// Verdicts and frontier sizes are identical across all modes; the
+/// sequential engine at `threads == 1` is the default.
 class IntervalLinMonitor final : public MembershipMonitor {
  public:
   explicit IntervalLinMonitor(const IntervalSeqSpec& spec,
@@ -70,6 +73,9 @@ class IntervalLinMonitor final : public MembershipMonitor {
 
   /// Number of live configurations (diagnostics / determinism tests).
   size_t frontier_size() const;
+
+  /// Execution counters of the underlying engine (see engine/stats.hpp).
+  engine::EngineStats stats() const;
 
  private:
   struct Impl;

@@ -12,8 +12,9 @@ namespace selin {
 
 /// The abstract object of all histories linearizable w.r.t. `spec`.
 /// Owns the spec.  `threads > 1` makes monitor() hand out parallel
-/// (fingerprint-sharded) membership monitors by default; either way,
-/// monitor(threads) can override per deployment.
+/// (fingerprint-sharded) membership monitors by default, and
+/// `engine::kAutoThreads` adaptive ones (sequential↔sharded per feed round);
+/// either way, monitor(threads) can override per deployment.
 std::unique_ptr<GenLinObject> make_linearizable_object(
     std::unique_ptr<SeqSpec> spec, size_t max_configs = 1 << 18,
     size_t threads = 1);

@@ -1,212 +1,19 @@
 #include "selin/lincheck/setlin_checker.hpp"
 
-#include "selin/lincheck/checker.hpp"
-#include "selin/lincheck/config.hpp"
-#include "selin/parallel/sharded_frontier.hpp"
+#include "selin/engine/frontier_engine.hpp"
+#include "selin/engine/policies.hpp"
 
 namespace selin {
 
-using lincheck::Config;
-using lincheck::DedupEngine;
+// SetLinMonitor is a facade over the generic frontier engine with the
+// set-linearizability policy (engine/policies.hpp): a closure move
+// linearizes a non-empty *batch* of open operations simultaneously.
 
 struct SetLinMonitor::Impl {
-  const SetSeqSpec* spec;
-  size_t max_configs;
-  size_t threads;
-  bool ok = true;
-  bool overflowed = false;
-  std::vector<Config> frontier;  // sequential engine (threads == 1)
-  std::vector<OpDesc> open;
+  engine::FrontierEngine<engine::SetLinPolicy> eng;
 
-  DedupEngine eng;
-
-  // Parallel engine (threads > 1) plus per-lane batch-enumeration scratch.
-  std::unique_ptr<parallel::ShardPool> pool;
-  std::unique_ptr<parallel::ShardedFrontier<Config>> shards;
-  struct alignas(64) Scratch {  // lanes write these headers in the inner
-    std::vector<OpDesc> cand;   // mask loop; keep neighbors off one line
-    std::vector<OpDesc> batch;
-    std::vector<Value> out;
-  };
-  std::vector<Scratch> scratch;
-
-  Impl(const SetSeqSpec& s, size_t cap, size_t nthreads)
-      : spec(&s), max_configs(cap), threads(nthreads == 0 ? 1 : nthreads) {
-    Config c;
-    c.state = s.initial();
-    if (threads > 1) {
-      make_shards();
-      shards->seed(std::move(c));
-    } else {
-      frontier.push_back(std::move(c));
-    }
-  }
-
-  Impl(const Impl& o)
-      : spec(o.spec), max_configs(o.max_configs), threads(o.threads),
-        ok(o.ok), overflowed(o.overflowed), open(o.open) {
-    if (threads > 1) {
-      make_shards();
-      shards->clone_from(*o.shards);
-    } else {
-      frontier.reserve(o.frontier.size());
-      for (const Config& c : o.frontier) frontier.push_back(c.clone());
-    }
-  }
-
-  void make_shards() {
-    pool = std::make_unique<parallel::ShardPool>(threads);
-    shards = std::make_unique<parallel::ShardedFrontier<Config>>(*pool,
-                                                                 max_configs);
-    scratch.resize(threads);
-  }
-
-  size_t frontier_size() const {
-    return threads > 1 ? shards->size() : frontier.size();
-  }
-
-  // Closure under simultaneous linearization of any non-empty batch of open,
-  // not-yet-linearized operations.
-  std::vector<Config> closure() {
-    eng.seen.clear();
-    std::vector<Config> result;
-    result.reserve(frontier.size() * 2);
-    for (const Config& c : frontier) {
-      if (eng.probe(eng.seen, c)) result.push_back(c.clone_with(eng.pool));
-    }
-    std::vector<OpDesc> cand;
-    std::vector<OpDesc> batch;
-    std::vector<Value> out;
-    for (size_t i = 0; i < result.size(); ++i) {
-      // Candidate batch members for this configuration.
-      cand.clear();
-      for (const OpDesc& od : open) {
-        if (result[i].find(od.id) == nullptr) cand.push_back(od);
-      }
-      if (cand.empty() || cand.size() > 20) {
-        if (cand.size() > 20) throw CheckerOverflow{};
-        continue;
-      }
-      for (uint32_t mask = 1; mask < (1u << cand.size()); ++mask) {
-        batch.clear();
-        for (size_t b = 0; b < cand.size(); ++b) {
-          if (mask & (1u << b)) batch.push_back(cand[b]);
-        }
-        Config next = result[i].clone_with(eng.pool);
-        out.assign(batch.size(), kNoArg);
-        if (!spec->step_set(*next.state, batch, out)) {
-          eng.pool.release(std::move(next.state));
-          continue;
-        }
-        for (size_t b = 0; b < batch.size(); ++b) {
-          next.add(batch[b].id, out[b]);
-        }
-        if (eng.probe(eng.seen, next)) {
-          if (result.size() >= max_configs) throw CheckerOverflow{};
-          result.push_back(std::move(next));
-        } else {
-          eng.pool.release(std::move(next.state));
-        }
-      }
-    }
-    return result;
-  }
-
-  void feed(const Event& e) {
-    if (!ok || overflowed) return;
-    if (e.is_inv()) {
-      open.push_back(e.op);
-      return;
-    }
-    try {
-      if (threads > 1) {
-        feed_res_parallel(e);
-      } else {
-        feed_res_sequential(e);
-      }
-    } catch (...) {
-      // Release in-flight configurations and poison the monitor (sticky
-      // overflowed()); the exception still propagates to the caller.
-      overflowed = true;
-      if (threads > 1) {
-        shards->release_all();
-      } else {
-        for (Config& c : frontier) eng.pool.release(std::move(c.state));
-        frontier.clear();
-      }
-      throw;
-    }
-    erase_open(e.op.id);
-  }
-
-  void feed_res_sequential(const Event& e) {
-    std::vector<Config> expanded = closure();
-    std::vector<Config> filtered;
-    filtered.reserve(expanded.size());
-    eng.filter_seen.clear();
-    for (Config& c : expanded) {
-      const lincheck::LinearizedOp* l = c.find(e.op.id);
-      if (l == nullptr || l->assigned != e.result) {
-        eng.pool.release(std::move(c.state));
-        continue;
-      }
-      c.remove(e.op.id);
-      if (eng.probe(eng.filter_seen, c)) {
-        filtered.push_back(std::move(c));
-      } else {
-        eng.pool.release(std::move(c.state));
-      }
-    }
-    for (Config& c : frontier) eng.pool.release(std::move(c.state));
-    frontier = std::move(filtered);
-    if (frontier.empty()) ok = false;
-  }
-
-  void feed_res_parallel(const Event& e) {
-    shards->closure([this](size_t s, const Config& c, auto& emit) {
-      DedupEngine& weng = pool->engine(s);
-      Scratch& sc = scratch[s];
-      sc.cand.clear();
-      for (const OpDesc& od : open) {
-        if (c.find(od.id) == nullptr) sc.cand.push_back(od);
-      }
-      if (sc.cand.empty()) return;
-      if (sc.cand.size() > 20) throw CheckerOverflow{};
-      for (uint32_t mask = 1; mask < (1u << sc.cand.size()); ++mask) {
-        sc.batch.clear();
-        for (size_t b = 0; b < sc.cand.size(); ++b) {
-          if (mask & (1u << b)) sc.batch.push_back(sc.cand[b]);
-        }
-        Config next = c.clone_with(weng.pool);
-        sc.out.assign(sc.batch.size(), kNoArg);
-        if (!spec->step_set(*next.state, sc.batch, sc.out)) {
-          weng.pool.release(std::move(next.state));
-          continue;
-        }
-        for (size_t b = 0; b < sc.batch.size(); ++b) {
-          next.add(sc.batch[b].id, sc.out[b]);
-        }
-        emit(std::move(next));
-      }
-    });
-    shards->filter([&e](size_t, Config& c) {
-      const lincheck::LinearizedOp* l = c.find(e.op.id);
-      if (l == nullptr || l->assigned != e.result) return false;
-      c.remove(e.op.id);
-      return true;
-    });
-    if (shards->size() == 0) ok = false;
-  }
-
-  void erase_open(OpId id) {
-    for (size_t i = 0; i < open.size(); ++i) {
-      if (open[i].id == id) {
-        open[i] = open.back();
-        open.pop_back();
-        break;
-      }
-    }
-  }
+  Impl(const SetSeqSpec& s, size_t cap, size_t threads)
+      : eng(engine::SetLinPolicy{&s}, cap, threads) {}
 };
 
 SetLinMonitor::SetLinMonitor(const SetSeqSpec& spec, size_t max_configs,
@@ -218,10 +25,13 @@ SetLinMonitor::SetLinMonitor(const SetLinMonitor& other)
 
 SetLinMonitor::~SetLinMonitor() = default;
 
-void SetLinMonitor::feed(const Event& e) { impl_->feed(e); }
-bool SetLinMonitor::ok() const { return impl_->ok; }
-bool SetLinMonitor::overflowed() const { return impl_->overflowed; }
-size_t SetLinMonitor::frontier_size() const { return impl_->frontier_size(); }
+void SetLinMonitor::feed(const Event& e) { impl_->eng.feed(e); }
+bool SetLinMonitor::ok() const { return impl_->eng.ok(); }
+bool SetLinMonitor::overflowed() const { return impl_->eng.overflowed(); }
+size_t SetLinMonitor::frontier_size() const {
+  return impl_->eng.frontier_size();
+}
+engine::EngineStats SetLinMonitor::stats() const { return impl_->eng.stats(); }
 
 std::unique_ptr<MembershipMonitor> SetLinMonitor::clone() const {
   return std::make_unique<SetLinMonitor>(*this);

@@ -9,14 +9,17 @@
 
 #include <memory>
 
+#include "selin/engine/stats.hpp"
 #include "selin/history/history.hpp"
 #include "selin/spec/spec.hpp"
 
 namespace selin {
 
-/// `threads > 1` expands batch closures on a fingerprint-routed shard pool
-/// (parallel/sharded_frontier.hpp); verdicts and frontier contents are
-/// identical to the sequential engine, the default at `threads == 1`.
+/// A facade over engine::FrontierEngine with the set-linearizability policy.
+/// `threads > 1` expands batch closures on a fingerprint-routed shard pool;
+/// `engine::kAutoThreads` picks sequential vs sharded per feed round.
+/// Verdicts and frontier sizes are identical across all modes; the
+/// sequential engine at `threads == 1` is the default.
 class SetLinMonitor final : public MembershipMonitor {
  public:
   explicit SetLinMonitor(const SetSeqSpec& spec, size_t max_configs = 1 << 18,
@@ -33,6 +36,9 @@ class SetLinMonitor final : public MembershipMonitor {
 
   /// Number of live configurations (diagnostics / determinism tests).
   size_t frontier_size() const;
+
+  /// Execution counters of the underlying engine (see engine/stats.hpp).
+  engine::EngineStats stats() const;
 
  private:
   struct Impl;

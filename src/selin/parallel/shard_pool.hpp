@@ -46,6 +46,9 @@ class ShardPool {
   /// Lane-private dedup machinery; only lane `worker` may touch it while a
   /// job is in flight.
   lincheck::DedupEngine& engine(size_t worker) { return *engines_[worker]; }
+  const lincheck::DedupEngine& engine(size_t worker) const {
+    return *engines_[worker];
+  }
 
   /// Run job(worker) once per lane, in parallel; returns when all lanes are
   /// done.  Rethrows the first captured job exception.

@@ -11,6 +11,9 @@
 #include "selin/core/monitor_core.hpp"
 #include "selin/core/self_enforced.hpp"
 #include "selin/core/verifier.hpp"
+#include "selin/engine/frontier_engine.hpp"
+#include "selin/engine/policies.hpp"
+#include "selin/engine/stats.hpp"
 #include "selin/history/event.hpp"
 #include "selin/history/history.hpp"
 #include "selin/history/similarity.hpp"

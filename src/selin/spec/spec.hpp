@@ -96,7 +96,9 @@ class GenLinObject {
 
   /// A monitor running its membership test on up to `threads` shards (the
   /// parallel frontier engine); objects without a parallel engine fall back
-  /// to the default monitor.  `threads == 0` means "the object's default".
+  /// to the default monitor.  `threads == 0` means "the object's default";
+  /// engine::kAutoThreads (engine/stats.hpp) requests adaptive
+  /// sequential↔sharded execution chosen per feed round.
   virtual std::unique_ptr<MembershipMonitor> monitor(size_t threads) const {
     (void)threads;
     return monitor();

@@ -74,7 +74,9 @@ class LeveledChecker {
   /// against checkpoint memory/clone cost (one monitor clone per stride
   /// levels).  bench_ablation sweeps it; 16 is the tuned default.
   /// `threads` is forwarded to the object's monitor factory (0 = object
-  /// default; > 1 requests the parallel sharded frontier engine).
+  /// default; > 1 requests the parallel sharded frontier engine;
+  /// engine::kAutoThreads the adaptive one — a good fit here, since most
+  /// checkpoint replays are narrow and only rollback storms go wide).
   explicit LeveledChecker(const GenLinObject& obj,
                           size_t checkpoint_stride = kDefaultStride,
                           size_t threads = 0)

@@ -21,7 +21,9 @@ namespace {
 
 using test::OpFactory;
 using test::corrupt_response;
+using test::random_exchanger_history;
 using test::random_linearizable_history;
+using test::random_write_snapshot_history;
 
 constexpr size_t kShardCounts[] = {2, 4, 8};
 
@@ -90,49 +92,6 @@ TEST(ParallelDeterminism, OneShotHelperAgrees) {
 
 // ---- set-linearizability ---------------------------------------------------
 
-// Random exchanger histories: overlapping windows of exchange ops whose
-// responses are either kEmpty or a concurrently open op's argument.  Both
-// verdicts occur; the sequential monitor is the ground truth.
-History random_exchanger_history(size_t n, size_t ops, uint64_t seed) {
-  Rng rng(seed);
-  OpFactory f;
-  History h;
-  struct Open {
-    OpDesc op;
-  };
-  std::vector<std::optional<Open>> open(n);
-  size_t invoked = 0;
-  for (;;) {
-    bool any_open = false;
-    for (const auto& o : open) any_open |= o.has_value();
-    if (invoked >= ops && !any_open) break;
-    ProcId p = static_cast<ProcId>(rng.below(n));
-    if (!open[p].has_value()) {
-      if (invoked >= ops) continue;
-      Value arg = static_cast<Value>(rng.range(1, 50));
-      OpDesc d = f.op(p, Method::kExchange, arg);
-      h.push_back(Event::inv(d));
-      open[p] = Open{d};
-      ++invoked;
-    } else if (rng.chance(1, 2)) {
-      // Respond: empty-handed, or claim some other open op's value.
-      Value res = kEmpty;
-      std::vector<Value> partners;
-      for (size_t q = 0; q < n; ++q) {
-        if (q != p && open[q].has_value()) {
-          partners.push_back(open[q]->op.arg);
-        }
-      }
-      if (!partners.empty() && rng.chance(2, 3)) {
-        res = partners[rng.below(partners.size())];
-      }
-      h.push_back(Event::res(open[p]->op, res));
-      open[p].reset();
-    }
-  }
-  return h;
-}
-
 TEST(ParallelDeterminism, SetLinExchanger) {
   auto spec = make_exchanger_spec();
   for (uint64_t seed = 1; seed <= 6; ++seed) {
@@ -153,43 +112,6 @@ TEST(ParallelDeterminism, SetLinExchanger) {
 }
 
 // ---- interval-linearizability ----------------------------------------------
-
-// Random write-snapshot histories; valid ones are generated by simulating
-// the interval machine (masks grow, self bit present), invalid ones corrupt
-// a mask.  The sequential monitor is the ground truth either way.
-History random_write_snapshot_history(size_t n, uint64_t seed, bool corrupt) {
-  Rng rng(seed);
-  History h;
-  std::vector<uint32_t> seq(n, 0);
-  std::vector<std::optional<OpDesc>> open(n);
-  uint64_t entered = 0;
-  size_t invoked = 0, responded = 0;
-  while (responded < n) {
-    ProcId p = static_cast<ProcId>(rng.below(n));
-    if (!open[p].has_value() && invoked < n && seq[p] == 0) {
-      OpDesc d{OpId{p, seq[p]++}, Method::kWriteSnap, kNoArg};
-      h.push_back(Event::inv(d));
-      open[p] = d;
-      ++invoked;
-    } else if (open[p].has_value() && rng.chance(1, 2)) {
-      entered |= 1ULL << p;  // machine-invoke at the latest possible moment
-      Value mask = static_cast<Value>(entered);
-      h.push_back(Event::res(*open[p], mask));
-      open[p].reset();
-      ++responded;
-    }
-  }
-  if (corrupt) {
-    // Drop the self-inclusion bit of one response: never valid.
-    for (Event& e : h) {
-      if (e.is_res()) {
-        e.result &= ~(1LL << e.op.id.pid);
-        break;
-      }
-    }
-  }
-  return h;
-}
 
 TEST(ParallelDeterminism, IntervalLinWriteSnapshot) {
   auto spec = make_write_snapshot_interval_spec();

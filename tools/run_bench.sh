@@ -3,29 +3,70 @@
 # and folds the results into BENCH_lincheck.json at the repo root, so the
 # perf trajectory is tracked PR over PR.
 #
-# Usage: tools/run_bench.sh [build-dir]   (default: build)
+# Usage: tools/run_bench.sh [build-dir] [--facet all|parallel_scaling]
+#
+# --facet parallel_scaling re-runs only BM_ParallelFrontierScaling and
+# replaces just the `parallel_scaling` facet of BENCH_lincheck.json, leaving
+# every other recorded number untouched.  Use it to re-record the scaling
+# facet alone on a multi-core host (the facet is meaningless when
+# num_cpus < shards, and re-running the full suite there would overwrite
+# the tracked single-host trajectory).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
 out="$repo_root/BENCH_lincheck.json"
+
+facet="all"
+build_dir="$repo_root/build"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --facet)
+      [[ $# -ge 2 ]] || { echo "error: --facet needs a value" >&2; exit 2; }
+      facet="$2"
+      shift 2
+      ;;
+    --*)
+      echo "error: unknown flag $1" >&2
+      exit 2
+      ;;
+    *)
+      build_dir="$1"
+      shift
+      ;;
+  esac
+done
+case "$facet" in
+  all|parallel_scaling) ;;
+  *) echo "error: unknown facet '$facet' (all | parallel_scaling)" >&2; exit 2 ;;
+esac
+
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-if [[ ! -x "$build_dir/bench_lincheck" || ! -x "$build_dir/bench_detection" ]]; then
+if [[ ! -x "$build_dir/bench_lincheck" ]]; then
   echo "error: benchmarks not built in $build_dir (cmake -B build -S . && cmake --build build -j)" >&2
   exit 1
 fi
 
-"$build_dir/bench_lincheck" \
-    --benchmark_out="$tmp/lincheck.json" --benchmark_out_format=json
-"$build_dir/bench_detection" \
-    --benchmark_out="$tmp/detection.json" --benchmark_out_format=json
+if [[ "$facet" == "parallel_scaling" ]]; then
+  "$build_dir/bench_lincheck" \
+      --benchmark_filter='BM_ParallelFrontierScaling' \
+      --benchmark_out="$tmp/lincheck.json" --benchmark_out_format=json
+else
+  if [[ ! -x "$build_dir/bench_detection" ]]; then
+    echo "error: benchmarks not built in $build_dir (cmake -B build -S . && cmake --build build -j)" >&2
+    exit 1
+  fi
+  "$build_dir/bench_lincheck" \
+      --benchmark_out="$tmp/lincheck.json" --benchmark_out_format=json
+  "$build_dir/bench_detection" \
+      --benchmark_out="$tmp/detection.json" --benchmark_out_format=json
+fi
 
-python3 - "$tmp/lincheck.json" "$tmp/detection.json" "$out" <<'EOF'
+python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$out" <<'EOF'
 import json, sys
 
-lincheck, detection, out = sys.argv[1], sys.argv[2], sys.argv[3]
+mode, lincheck, detection, out = sys.argv[1:5]
 
 def load(path):
     with open(path) as f:
@@ -37,38 +78,61 @@ def load(path):
         "benchmarks": data["benchmarks"],
     }
 
-result = {"bench_lincheck": load(lincheck), "bench_detection": load(detection)}
-
-# parallel_scaling facet: verified-op throughput of the sharded frontier
-# engine by shard count (BM_ParallelFrontierScaling), plus speedups vs one
-# shard.  Meaningful scaling requires cores >= shards; num_cpus is recorded
-# alongside so single-core hosts aren't misread as regressions.
-per_shard = {}
-for b in result["bench_lincheck"]["benchmarks"]:
-    name = b.get("name", "")
-    if name.startswith("BM_ParallelFrontierScaling/") and b.get("run_type") != "aggregate":
-        shards = name.split("/")[1]
-        if "items_per_second" in b:
-            per_shard[shards] = b["items_per_second"]
-if per_shard:
+def parallel_scaling_facet(run):
+    """Verified-op throughput of the sharded frontier engine by shard count
+    (BM_ParallelFrontierScaling), plus speedups vs one shard.  Meaningful
+    scaling requires cores >= shards; num_cpus is recorded alongside so
+    single-core hosts aren't misread as regressions.  The one construction
+    point for the facet, whichever mode recorded it."""
+    per_shard = {}
+    for b in run["benchmarks"]:
+        name = b.get("name", "")
+        if (name.startswith("BM_ParallelFrontierScaling/")
+                and b.get("run_type") != "aggregate"
+                and "items_per_second" in b):
+            per_shard[name.split("/")[1]] = b["items_per_second"]
+    if not per_shard:
+        return None
     base = per_shard.get("1")
-    result["parallel_scaling"] = {
+    return {
         "workload": "frontier-width-sweep (2^12-wide stack frontier, "
                     "overlapping push/pop stream)",
-        "num_cpus": result["bench_lincheck"]["context"].get("num_cpus"),
+        "num_cpus": run["context"].get("num_cpus"),
         "items_per_second_by_shards": per_shard,
         "speedup_vs_1_shard": {
             s: (v / base if base else None) for s, v in per_shard.items()
         },
     }
 
-# Preserve the recorded baseline (string-key engine) if present, so the
-# speedup trajectory stays visible.
+lincheck_run = load(lincheck)
+scaling = parallel_scaling_facet(lincheck_run)
+
+if mode == "parallel_scaling":
+    if scaling is None:
+        sys.exit("error: no BM_ParallelFrontierScaling results in this run")
+    try:
+        with open(out) as f:
+            result = json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        sys.exit(f"error: {out} missing or unreadable; run the full suite first")
+    result["parallel_scaling"] = scaling
+    with open(out, "w") as f:
+        json.dump(result, f, indent=1)
+    print(f"updated parallel_scaling facet of {out}")
+    sys.exit(0)
+
+result = {"bench_lincheck": lincheck_run, "bench_detection": load(detection)}
+if scaling is not None:
+    result["parallel_scaling"] = scaling
+
+# Preserve facets recorded by earlier PRs/other hosts when this run did not
+# produce them (baseline_string_key is PR 1's string-key engine baseline).
 try:
     with open(out) as f:
         prev = json.load(f)
-    if "baseline_string_key" in prev:
-        result["baseline_string_key"] = prev["baseline_string_key"]
+    for key in ("baseline_string_key",):
+        if key in prev:
+            result[key] = prev[key]
 except (FileNotFoundError, json.JSONDecodeError):
     pass
 

@@ -1,16 +1,23 @@
 // selin_check — offline linearizability checker over text histories.
 //
 // Usage:
-//   selin_check <object> <history-file> [--witness] [--quiet] [--threads N]
+//   selin_check <object> <history-file> [--witness] [--quiet]
+//               [--threads N|auto] [--stats]
 //   selin_check <object> -              (read from stdin)
 //
 // <object>: queue | stack | set | pqueue | counter | register | consensus
 //
 // --threads N (N > 1) runs the membership test on the parallel sharded
-// frontier engine; the witness (--witness) still comes from the sequential
-// DFS, which is the only engine that records a linearization order.
+// frontier engine; --threads auto lets the engine pick sequential vs sharded
+// per feed round by frontier width.  The witness (--witness) always comes
+// from the sequential DFS, which is the only engine that records a
+// linearization order.  --stats prints the engine's execution counters
+// (peak frontier width, dedup hit rate, recycled states, rounds dispatched
+// parallel vs sequential).
 //
-// Exit codes: 0 = linearizable, 1 = NOT linearizable, 2 = usage/parse error.
+// Exit codes: 0 = linearizable, 1 = NOT linearizable, 2 = usage/parse
+// error, 3 = exploration budget overflow (verdict unknown — the membership
+// problem is NP-hard and this history has too much sustained concurrency).
 //
 // This is the P_O membership test of the paper exposed as a tool: the same
 // engine the runtime verifier uses (and the same format certificates are
@@ -41,8 +48,32 @@ std::optional<ObjectKind> parse_object(const std::string& s) {
 
 int usage() {
   std::cerr << "usage: selin_check <queue|stack|set|pqueue|counter|register|"
-               "consensus> <file|-> [--witness] [--quiet] [--threads N]\n";
+               "consensus> <file|-> [--witness] [--quiet] [--threads N|auto] "
+               "[--stats]\n";
   return 2;
+}
+
+void print_stats(const engine::EngineStats& s) {
+  double hit_rate =
+      s.dedup_probes == 0
+          ? 0.0
+          : static_cast<double>(s.dedup_hits) / static_cast<double>(s.dedup_probes);
+  std::cout << "# engine stats: lanes=" << s.lanes
+            << " events=" << s.events_fed
+            << " rounds_seq=" << s.rounds_sequential
+            << " rounds_par=" << s.rounds_parallel
+            << " peak_frontier=" << s.peak_frontier
+            << " dedup_probes=" << s.dedup_probes
+            << " dedup_hit_rate=" << hit_rate
+            << " states_recycled=" << s.states_recycled << "\n";
+}
+
+int report_overflow(const LinMonitor& m, bool want_stats) {
+  if (want_stats) print_stats(m.stats());
+  std::cerr << "selin_check: OVERFLOW — exploration budget exceeded; verdict "
+               "unknown (too much sustained concurrency; the membership "
+               "problem is NP-hard)\n";
+  return 3;
 }
 
 }  // namespace
@@ -51,17 +82,25 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   auto kind = parse_object(argv[1]);
   if (!kind.has_value()) return usage();
-  bool want_witness = false, quiet = false;
+  bool want_witness = false, quiet = false, want_stats = false;
   size_t threads = 1;
   for (int i = 3; i < argc; ++i) {
     std::string flag = argv[i];
     if (flag == "--witness") want_witness = true;
     else if (flag == "--quiet") quiet = true;
+    else if (flag == "--stats") want_stats = true;
     else if (flag == "--threads" && i + 1 < argc) {
-      char* end = nullptr;
-      unsigned long v = std::strtoul(argv[++i], &end, 10);
-      if (end == nullptr || *end != '\0' || v == 0 || v > 256) return usage();
-      threads = static_cast<size_t>(v);
+      std::string v = argv[++i];
+      if (v == "auto") {
+        threads = engine::kAutoThreads;
+      } else {
+        char* end = nullptr;
+        unsigned long n = std::strtoul(v.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || n == 0 || n > 256) {
+          return usage();
+        }
+        threads = static_cast<size_t>(n);
+      }
     } else {
       return usage();
     }
@@ -86,49 +125,56 @@ int main(int argc, char** argv) {
   }
 
   auto spec = make_spec(*kind);
+  LinMonitor m(*spec, /*max_configs=*/1 << 18, threads);
+  size_t first_bad = h.size();
   try {
-    bool is_lin;
-    std::optional<History> lin;
-    if (threads > 1) {
-      // Membership on the parallel sharded-frontier engine; the DFS witness
-      // is only computed when explicitly requested.
-      is_lin = linearizable(*spec, h, /*max_configs=*/1 << 18, threads);
-      if (is_lin && want_witness) lin = find_linearization(*spec, h);
-    } else {
-      lin = find_linearization(*spec, h);
-      is_lin = lin.has_value();
-    }
-    if (is_lin) {
-      if (!quiet) {
-        std::cout << "LINEARIZABLE (" << h.size() << " events";
-        if (lin.has_value()) {
-          std::cout << ", " << lin->size() / 2 << " ops linearized";
-        }
-        std::cout << ")\n";
-        if (want_witness && lin.has_value()) {
-          std::cout << "# linearization:\n";
-          write_history(std::cout, *lin);
-        }
+    for (size_t i = 0; i < h.size(); ++i) {
+      m.feed(h[i]);
+      if (!m.ok()) {
+        first_bad = i;
+        break;
       }
-      return 0;
+    }
+  } catch (const CheckerOverflow&) {
+    return report_overflow(m, want_stats);
+  }
+
+  if (m.ok()) {
+    std::optional<History> lin;
+    bool witness_overflow = false;
+    if (want_witness) {
+      try {
+        lin = find_linearization(*spec, h);
+      } catch (const CheckerOverflow&) {
+        // The membership verdict above already stands; only the witness
+        // search ran out of budget.  Report the verdict, warn about the
+        // missing witness.
+        witness_overflow = true;
+      }
+    }
+    if (witness_overflow) {
+      std::cerr << "selin_check: witness search exceeded its budget; "
+                   "reporting the verdict without a linearization\n";
     }
     if (!quiet) {
-      std::cout << "NOT LINEARIZABLE\n";
-      // Minimal failing prefix for diagnosis.
-      LinMonitor m(*spec, /*max_configs=*/1 << 18, threads);
-      for (size_t i = 0; i < h.size(); ++i) {
-        m.feed(h[i]);
-        if (!m.ok()) {
-          std::cout << "# first inconsistent event (index " << i << "): "
-                    << to_string(h[i]) << "\n";
-          break;
-        }
+      std::cout << "LINEARIZABLE (" << h.size() << " events";
+      if (lin.has_value()) {
+        std::cout << ", " << lin->size() / 2 << " ops linearized";
+      }
+      std::cout << ")\n";
+      if (want_witness && lin.has_value()) {
+        std::cout << "# linearization:\n";
+        write_history(std::cout, *lin);
       }
     }
-    return 1;
-  } catch (const CheckerOverflow&) {
-    std::cerr << "selin_check: search budget exceeded (history has too much "
-                 "sustained concurrency; the problem is NP-hard)\n";
-    return 2;
+    if (want_stats) print_stats(m.stats());
+    return 0;
   }
+  if (!quiet) {
+    std::cout << "NOT LINEARIZABLE\n";
+    std::cout << "# first inconsistent event (index " << first_bad
+              << "): " << to_string(h[first_bad]) << "\n";
+  }
+  if (want_stats) print_stats(m.stats());
+  return 1;
 }
