@@ -1,0 +1,136 @@
+// Parallel checkpoint replay in the leveled checker.
+//
+//  BM_LeveledRollbackStorm — the tentpole workload: a prompt spine of
+//      levels carrying a set of pending invocations wide enough to engage
+//      the sharded frontier engine, followed by a storm of straggler
+//      records that each land mid-history and force a rollback+replay.
+//      Swept over the lane count: lanes=1 is the fully sequential
+//      discipline (sequential monitors, inline checkpoints); lanes=N runs
+//      the replayed monitors with engine::auto_threads(N) and defers
+//      checkpoint materialization to snapshot lanes.  Scaling requires
+//      cores >= lanes — the recorded facet carries num_cpus so single-core
+//      hosts aren't misread as regressions.
+//
+//  BM_LeveledSnapshotMode — isolates the deferred-snapshotting half: an
+//      append-only feed over a persistently wide frontier, inline
+//      checkpoint clones (mode=0) vs async stripe rebuild (mode=1).  The
+//      async arm clones on the feed path only once per
+//      LeveledChecker::kStripe boundaries.
+#include <benchmark/benchmark.h>
+
+#include "selin/engine/stats.hpp"
+#include "selin/selin.hpp"
+
+namespace {
+
+using namespace selin;
+
+// λ-records for a spine of `spine_ops` prompt operations by process 0 with
+// `stragglers` other processes that each announce one operation early (their
+// pending invocations ride every later view) and publish its record only
+// after the spine has drained — the rollback storm.  Priority-queue inserts
+// with distinct arguments keep the open-op subsets distinct while the
+// resulting states stay order-insensitive (a multiset, unlike a queue whose
+// open-op *orderings* would explode), so the frontier holds ~2^stragglers
+// configurations while the stragglers are missing.
+struct StormWorkload {
+  std::vector<std::unique_ptr<SetNode>> nodes;
+  std::vector<LambdaRecord> spine;      // publish first, in order
+  std::vector<LambdaRecord> stragglers;  // publish last, oldest first
+};
+
+StormWorkload make_storm(size_t spine_ops, size_t stragglers) {
+  StormWorkload w;
+  const size_t procs = 1 + stragglers;
+  std::vector<const SetNode*> heads(procs, nullptr);
+  auto spec = make_pqueue_spec();
+  auto state = spec->initial();
+  auto announce = [&](ProcId p, uint32_t seq, Method m, Value arg) {
+    OpDesc op{OpId{p, seq}, m, arg};
+    w.nodes.push_back(std::make_unique<SetNode>(SetNode{
+        op, heads[p], heads[p] == nullptr ? 1u : heads[p]->len + 1}));
+    heads[p] = w.nodes.back().get();
+    return LambdaRecord{op, state->step(m, arg), View(heads)};
+  };
+  for (uint32_t i = 0; i < spine_ops; ++i) {
+    if (i >= 8 && i < 8 + stragglers) {
+      // One early op per straggler process, an insert with a distinct value.
+      w.stragglers.push_back(announce(static_cast<ProcId>(i - 8 + 1), 0,
+                                      Method::kPqInsert,
+                                      1000 + static_cast<Value>(i)));
+    }
+    w.spine.push_back(
+        announce(0, i, Method::kPqInsert, 1 + static_cast<Value>(i)));
+  }
+  return w;
+}
+
+void run_checker(const StormWorkload& w, const LeveledChecker::Options& opts,
+                 const GenLinObject& obj) {
+  XBuilder builder;
+  LeveledChecker checker(obj, opts);
+  for (const LambdaRecord& r : w.spine) {
+    benchmark::DoNotOptimize(checker.resync(builder, builder.add(&r)));
+  }
+  for (const LambdaRecord& r : w.stragglers) {
+    benchmark::DoNotOptimize(checker.resync(builder, builder.add(&r)));
+  }
+}
+
+void BM_LeveledRollbackStorm(benchmark::State& state) {
+  const size_t lanes = static_cast<size_t>(state.range(0));
+  StormWorkload w = make_storm(/*spine_ops=*/88, /*stragglers=*/10);
+  auto obj = make_linearizable_object(make_pqueue_spec(), /*max_configs=*/
+                                      1 << 18);
+  LeveledChecker::Options opts;
+  opts.stride = LeveledChecker::kDefaultStride;
+  if (lanes <= 1) {
+    opts.threads = 1;
+    opts.snapshot_lanes = 0;
+  } else {
+    opts.threads = engine::auto_threads(lanes);
+    opts.snapshot_lanes = 2;
+  }
+  for (auto _ : state) {
+    run_checker(w, opts, *obj);
+  }
+  state.SetLabel("lanes=" + std::to_string(lanes));
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() *
+                           (w.spine.size() + w.stragglers.size())));
+}
+
+BENCHMARK(BM_LeveledRollbackStorm)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_LeveledSnapshotMode(benchmark::State& state) {
+  const bool async = state.range(0) == 1;
+  // Wide steady frontier (8 permanently pending invocations), append-only:
+  // no rollbacks, so the arms differ only in where checkpoint clones run.
+  StormWorkload w = make_storm(/*spine_ops=*/160, /*stragglers=*/8);
+  auto obj = make_linearizable_object(make_pqueue_spec(), 1 << 18);
+  LeveledChecker::Options opts;
+  opts.stride = 8;
+  opts.threads = 1;
+  opts.snapshot_lanes = async ? 2 : 0;
+  for (auto _ : state) {
+    XBuilder builder;
+    LeveledChecker checker(*obj, opts);
+    for (const LambdaRecord& r : w.spine) {
+      benchmark::DoNotOptimize(checker.resync(builder, builder.add(&r)));
+    }
+  }
+  state.SetLabel(async ? "async-stripes" : "inline");
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * w.spine.size()));
+}
+
+BENCHMARK(BM_LeveledSnapshotMode)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace

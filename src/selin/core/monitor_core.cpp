@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "selin/engine/stats.hpp"
+
 namespace selin {
+
+namespace {
+
+// Checker contexts whose monitors run a parallel engine also shed their
+// checkpoint clones onto snapshot lanes; sequential deployments keep the
+// fully synchronous (and thread-free) discipline.
+LeveledChecker::Options checker_options(size_t checker_threads) {
+  LeveledChecker::Options opts;
+  opts.threads = checker_threads;
+  const bool parallel =
+      engine::is_auto_threads(checker_threads) || checker_threads > 1;
+  opts.snapshot_lanes = parallel ? 2 : 0;
+  return opts;
+}
+
+}  // namespace
 
 MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
                          const GenLinObject& obj, SnapshotKind kind,
@@ -14,7 +32,7 @@ MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
   for (CheckerSlot& c : checkers_) {
     c.seen.assign(n_producers, nullptr);
     c.checker = std::make_unique<LeveledChecker>(
-        obj, LeveledChecker::kDefaultStride, checker_threads);
+        obj, checker_options(checker_threads));
   }
 }
 
@@ -29,7 +47,7 @@ MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
   for (CheckerSlot& c : checkers_) {
     c.seen.assign(n_producers, nullptr);
     c.checker = std::make_unique<LeveledChecker>(
-        obj, LeveledChecker::kDefaultStride, checker_threads);
+        obj, checker_options(checker_threads));
   }
 }
 
@@ -54,7 +72,8 @@ bool MonitorCore::check(size_t checker) {
   // merged incrementally: only chain segments beyond the previously seen
   // heads are new.
   std::vector<const RecNode*> heads = m_->scan(0);
-  size_t lowest = static_cast<size_t>(-1);
+  std::vector<size_t>& dirty = cs.dirty_scratch;
+  dirty.clear();
   for (size_t j = 0; j < heads.size(); ++j) {
     const RecNode* h = heads[j];
     const RecNode* old = cs.seen[j];
@@ -66,15 +85,16 @@ bool MonitorCore::check(size_t checker) {
       fresh.push_back(n);
     }
     for (auto it = fresh.rbegin(); it != fresh.rend(); ++it) {
-      size_t lvl = cs.builder.add(&(*it)->rec);
-      lowest = std::min(lowest, lvl);
+      dirty.push_back(cs.builder.add(&(*it)->rec));
     }
     cs.seen[j] = h;
   }
-  if (lowest != static_cast<size_t>(-1)) {
-    // Line 10: the membership test X(τ) ∈ O, resumed from the lowest level
-    // the merge touched.
-    return cs.checker->resync(cs.builder, lowest);
+  if (!dirty.empty()) {
+    // Line 10: the membership test X(τ) ∈ O, resumed once below the lowest
+    // level the merge touched.  The checker receives the merge's whole
+    // dirty-level batch (not just its minimum) so the storm shape is
+    // visible where the checkpoint/replay decisions are made.
+    return cs.checker->resync(cs.builder, dirty);
   }
   return cs.checker->ok();
 }

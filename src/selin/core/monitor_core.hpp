@@ -33,9 +33,11 @@ class MonitorCore {
   /// `checker_threads` is forwarded to each checker's membership monitors
   /// (0 = the object's default; > 1 runs the membership test P_O on the
   /// parallel sharded frontier engine; engine::kAutoThreads picks
-  /// sequential vs sharded per feed round — the monitor threads belong to
-  /// the checker that owns them, so the wait-free cross-thread protocol
-  /// through M is unchanged).
+  /// sequential vs sharded per feed round, optionally | engine::kTuneFlag
+  /// for stats-feedback tuning — the monitor threads belong to the checker
+  /// that owns them, so the wait-free cross-thread protocol through M is
+  /// unchanged).  Any parallel request also turns on the leveled checkers'
+  /// deferred snapshotting, moving checkpoint clones onto snapshot lanes.
   MonitorCore(size_t n_producers, size_t n_checkers, const GenLinObject& obj,
               SnapshotKind kind = SnapshotKind::kDoubleCollect,
               size_t checker_threads = 0);
@@ -72,6 +74,7 @@ class MonitorCore {
   struct alignas(64) CheckerSlot {
     std::vector<const RecNode*> seen;  // last merged head per producer
     std::vector<const RecNode*> fresh_scratch;  // reused across check() calls
+    std::vector<size_t> dirty_scratch;  // dirty levels of the current pass
     XBuilder builder;
     std::unique_ptr<LeveledChecker> checker;
   };

@@ -1,0 +1,131 @@
+// Stats-feedback auto-tuning of the adaptive engine's knobs.
+//
+// The adaptive engine (frontier_engine.hpp) decides per feed round whether
+// to run sequential or sharded by comparing the frontier width against an
+// engage/retreat hysteresis pair, and it dispatches parallel rounds onto a
+// fixed lane count.  PR 3 shipped those as constants (384 / 96 / hardware
+// clamped to 8) tuned on one workload family; the stats facility it also
+// shipped measures, per monitor, exactly the quantities that determine
+// whether the constants are right for *this* workload:
+//
+//   * dedup hit rate — the fraction of emitted successors that are
+//     duplicates.  High hit rates mean closure rounds do little real work
+//     per configuration, so shard dispatch amortizes worse and the engine
+//     should demand a wider frontier before engaging (and vice versa).
+//   * peak frontier width — how much parallelism the workload can feed.
+//     Lanes beyond width/kWidthPerLane starve on outbox routing, so the
+//     lane count follows the observed width.
+//   * sequential/parallel round ratio and representation switches — a
+//     window that keeps flipping modes is oscillating around one threshold;
+//     widening the hysteresis gap is the classic fix.
+//
+// AutoTuner closes that loop.  The engine accumulates a TunerWindow of
+// signals and calls tick() every kWindow response rounds; tick() moves each
+// knob at most one bounded multiplicative step toward what the window's
+// stats imply.  One step per window (and at most one window boundary per
+// feed) means the knobs are monotone within any single feed — a feed can
+// never observe a threshold move up and then back down — and bounded steps
+// with a fixed hysteresis ratio keep the engage/retreat gap open, so the
+// tuner cannot introduce the very thrashing it exists to damp.  All inputs
+// are the engine's own deterministic counters: same history, same knob
+// trajectory, every run.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "selin/engine/stats.hpp"
+
+namespace selin::engine {
+
+/// One tuning window's worth of engine signals (deltas, not totals).
+struct TunerWindow {
+  size_t peak_width = 0;        ///< widest post-feed frontier in the window
+  uint64_t rounds_sequential = 0;
+  uint64_t rounds_parallel = 0;
+  uint64_t dedup_probes = 0;
+  uint64_t dedup_hits = 0;
+  uint64_t mode_switches = 0;   ///< representation migrations in the window
+
+  void clear() { *this = TunerWindow{}; }
+};
+
+class AutoTuner {
+ public:
+  /// Response rounds per tuning window (one tick() per window).
+  static constexpr uint64_t kWindow = 32;
+  /// Bounds on the engage threshold; retreat tracks engage/kHysteresisRatio.
+  static constexpr size_t kMinEngage = 64;
+  static constexpr size_t kMaxEngage = 8192;
+  static constexpr size_t kHysteresisRatio = 4;
+  /// Frontier width one lane can keep busy; the lane target follows
+  /// peak_width / kWidthPerLane.  Matches the engage constant's provenance:
+  /// at the default 384-wide engage point, ~2 lanes pay off.
+  static constexpr size_t kWidthPerLane = 192;
+  /// Window switch count past which the hysteresis gap is considered too
+  /// narrow for the workload (each switch is a full frontier migration).
+  static constexpr uint64_t kThrashSwitches = 3;
+
+  AutoTuner(size_t engage, size_t retreat, size_t lanes, size_t max_lanes)
+      : engage_(engage), retreat_(retreat), lanes_(lanes),
+        max_lanes_(max_lanes == 0 ? 1 : max_lanes) {}
+
+  size_t engage() const { return engage_; }
+  size_t retreat() const { return retreat_; }
+  /// The lane count parallel rounds should use (applied by the engine only
+  /// while the frontier is in its sequential representation).
+  size_t lanes() const { return lanes_; }
+  uint64_t updates() const { return updates_; }
+
+  /// Digest one window of signals; returns true iff any knob moved.  Each
+  /// knob moves at most one step per tick, toward the signal:
+  ///   thrashing        → engage up, gap widened (damp oscillation first);
+  ///   dup-heavy rounds → engage up (parallel rounds amortize worse);
+  ///   wide + dup-light → engage down (engage the shards earlier);
+  ///   peak width       → lane target = clamp(peak / kWidthPerLane).
+  bool tick(const TunerWindow& w) {
+    const size_t old_engage = engage_;
+    const size_t old_lanes = lanes_;
+    const uint64_t rounds = w.rounds_sequential + w.rounds_parallel;
+    const double hit_rate =
+        w.dedup_probes == 0
+            ? 0.0
+            : static_cast<double>(w.dedup_hits) /
+                  static_cast<double>(w.dedup_probes);
+    if (w.mode_switches >= kThrashSwitches) {
+      engage_ = std::min(engage_ * 2, kMaxEngage);
+    } else if (rounds > 0 && w.rounds_parallel > 0 && hit_rate > 0.55) {
+      engage_ = std::min(engage_ + engage_ / 4, kMaxEngage);
+    } else if (rounds > 0 && hit_rate < 0.35 &&
+               w.peak_width >= engage_ / 2 && w.peak_width < engage_) {
+      // The workload hovers just under the threshold with cheap dedup:
+      // lowering engage converts near-miss sequential rounds to parallel.
+      engage_ = std::max(engage_ - engage_ / 5, kMinEngage);
+    }
+    retreat_ = std::max<size_t>(engage_ / kHysteresisRatio, 1);
+
+    const size_t lane_target = std::clamp<size_t>(
+        w.peak_width / kWidthPerLane, 1, max_lanes_);
+    if (lane_target > lanes_) {
+      lanes_ = std::min(lanes_ * 2, lane_target);
+    } else if (lane_target < lanes_ && w.rounds_parallel == 0) {
+      // Shrink only when the window ran no parallel round at the current
+      // count — a busy pool is evidence the width still feeds the lanes.
+      lanes_ = std::max<size_t>(lanes_ - 1, lane_target);
+    }
+
+    const bool changed = engage_ != old_engage || lanes_ != old_lanes;
+    if (changed) ++updates_;
+    return changed;
+  }
+
+ private:
+  size_t engage_;
+  size_t retreat_;
+  size_t lanes_;
+  size_t max_lanes_;
+  uint64_t updates_ = 0;
+};
+
+}  // namespace selin::engine

@@ -60,6 +60,7 @@
 #include <thread>
 #include <vector>
 
+#include "selin/engine/auto_tuner.hpp"
 #include "selin/engine/stats.hpp"
 #include "selin/parallel/sharded_frontier.hpp"
 
@@ -91,8 +92,17 @@ class FrontierEngine {
     if (is_auto_threads(threads)) {
       adaptive_ = true;
       lanes_ = resolve_auto_lanes(auto_lane_request(threads));
+      if (is_tuned_threads(threads)) {
+        tuner_ = std::make_unique<AutoTuner>(
+            engage_, retreat_, lanes_,
+            std::max(lanes_, resolve_auto_lanes(0)));
+      }
     } else {
-      lanes_ = threads == 0 ? 1 : threads;
+      // Strip stray flag bits (e.g. kTuneFlag without kAutoFlag) so a
+      // malformed knob degrades to a plain lane count instead of a ~2^62
+      // allocation; tuning is only meaningful on the adaptive engine.
+      const size_t plain = auto_lane_request(threads);
+      lanes_ = plain == 0 ? 1 : plain;
     }
     scratch_.resize(lanes_);
     Config c;
@@ -109,7 +119,13 @@ class FrontierEngine {
   FrontierEngine(const FrontierEngine& o)
       : policy_(o.policy_), max_configs_(o.max_configs_), lanes_(o.lanes_),
         adaptive_(o.adaptive_), ok_(o.ok_), overflowed_(o.overflowed_),
-        open_(o.open_), base_stats_(o.stats()) {
+        engage_(o.engage_), retreat_(o.retreat_), open_(o.open_),
+        base_stats_(o.stats()) {
+    if (o.tuner_ != nullptr) tuner_ = std::make_unique<AutoTuner>(*o.tuner_);
+    // The clone's window starts empty; anchor the dedup-delta snapshots at
+    // the inherited totals so its first tick sees only its own probes.
+    last_probes_ = base_stats_.dedup_probes;
+    last_hits_ = base_stats_.dedup_hits;
     scratch_.resize(lanes_);
     if (o.parallel_active_) {
       make_shards();
@@ -134,11 +150,14 @@ class FrontierEngine {
       if (adaptive_) adapt();
       if (parallel_active_) {
         ++base_stats_.rounds_parallel;
+        ++window_.rounds_parallel;
         feed_res_parallel(e);
       } else {
         ++base_stats_.rounds_sequential;
+        ++window_.rounds_sequential;
         feed_res_sequential(e);
       }
+      if (tuner_ != nullptr) tune();
     } catch (...) {
       // The half-expanded frontier no longer reflects the fed prefix.
       // Release everything and poison the engine (sticky overflowed())
@@ -149,8 +168,9 @@ class FrontierEngine {
       throw;
     }
     erase_open(e.op.id);
-    base_stats_.peak_frontier =
-        std::max(base_stats_.peak_frontier, frontier_size());
+    const size_t width = frontier_size();
+    base_stats_.peak_frontier = std::max(base_stats_.peak_frontier, width);
+    window_.peak_width = std::max(window_.peak_width, width);
   }
 
   bool ok() const { return ok_; }
@@ -170,6 +190,10 @@ class FrontierEngine {
         accumulate(s, pool_->engine(i));
       }
     }
+    s.engage_width = engage_;
+    s.retreat_width = retreat_;
+    s.tuner_updates = tuner_ == nullptr ? base_stats_.tuner_updates
+                                        : tuner_->updates();
     return s;
   }
 
@@ -197,15 +221,53 @@ class FrontierEngine {
   void adapt() {
     if (lanes_ <= 1) return;
     const size_t width = frontier_size();
-    if (!parallel_active_ && width >= kAutoEngageWidth) {
+    if (!parallel_active_ && width >= engage_) {
       if (shards_ == nullptr) make_shards();
       shards_->adopt(std::move(frontier_));
       frontier_.clear();
       parallel_active_ = true;
-    } else if (parallel_active_ && width < kAutoRetreatWidth) {
+      ++base_stats_.mode_switches;
+      ++window_.mode_switches;
+    } else if (parallel_active_ && width < retreat_) {
       shards_->drain(frontier_);
       parallel_active_ = false;
+      ++base_stats_.mode_switches;
+      ++window_.mode_switches;
     }
+  }
+
+  /// One AutoTuner step per kWindow response rounds: hand the tuner the
+  /// window's signal deltas and adopt whatever thresholds/lane count it
+  /// settles on.  Lane retargeting rebuilds the dormant pool, so it is
+  /// applied only while the frontier lives in the sequential representation
+  /// (the next engage simply constructs the pool at the new width).
+  void tune() {
+    if (++window_rounds_ < AutoTuner::kWindow) return;
+    window_rounds_ = 0;
+    const EngineStats totals = stats();  // base + every live engine
+    window_.dedup_probes = totals.dedup_probes - last_probes_;
+    window_.dedup_hits = totals.dedup_hits - last_hits_;
+    last_probes_ = totals.dedup_probes;
+    last_hits_ = totals.dedup_hits;
+    if (tuner_->tick(window_)) {
+      engage_ = tuner_->engage();
+      retreat_ = tuner_->retreat();
+      if (!parallel_active_ && tuner_->lanes() != lanes_) {
+        // Fold the retiring lanes' counters into the base stats before the
+        // pool (and its engines) goes away, then rebuild at the new width.
+        if (pool_ != nullptr) {
+          for (size_t i = 0; i < pool_->threads(); ++i) {
+            accumulate(base_stats_, pool_->engine(i));
+          }
+        }
+        shards_.reset();
+        pool_.reset();
+        lanes_ = tuner_->lanes();
+        scratch_.clear();
+        scratch_.resize(lanes_);
+      }
+    }
+    window_.clear();
   }
 
   // All configurations reachable from the frontier by any sequence of the
@@ -290,6 +352,16 @@ class FrontierEngine {
   bool parallel_active_ = false;  // which representation holds the frontier
   bool ok_ = true;
   bool overflowed_ = false;
+
+  // Adaptive thresholds: the static constants unless an AutoTuner is
+  // attached (threads knob carries kTuneFlag), which then owns them.
+  size_t engage_ = kAutoEngageWidth;
+  size_t retreat_ = kAutoRetreatWidth;
+  std::unique_ptr<AutoTuner> tuner_;
+  TunerWindow window_;        // signal deltas since the last tuner tick
+  uint64_t window_rounds_ = 0;
+  uint64_t last_probes_ = 0;  // dedup totals at the last tick (for deltas)
+  uint64_t last_hits_ = 0;
 
   std::vector<OpDesc> open_;  // invoked, response not yet fed
 

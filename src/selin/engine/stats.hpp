@@ -22,19 +22,38 @@ namespace selin::engine {
 /// High bit of the `threads` knob: adaptive sequential↔sharded execution.
 inline constexpr size_t kAutoFlag = size_t{1} << (sizeof(size_t) * 8 - 1);
 
+/// Second-highest bit: self-tuning.  Only meaningful together with
+/// kAutoFlag — an engine::AutoTuner feeds the engine's own execution stats
+/// back into the engage/retreat hysteresis thresholds and the lane count
+/// (see auto_tuner.hpp), replacing the fixed constants.  Spelled
+/// `selin_check --threads auto --tune` at the CLI.
+inline constexpr size_t kTuneFlag = size_t{1} << (sizeof(size_t) * 8 - 2);
+
 /// Adaptive execution with hardware-resolved lane count.
 inline constexpr size_t kAutoThreads = kAutoFlag;
 
+/// Adaptive execution with stats-feedback tuning of the thresholds/lanes.
+inline constexpr size_t kAutoTunedThreads = kAutoFlag | kTuneFlag;
+
 /// Adaptive execution with an explicit lane count (tests, tuned deploys).
 constexpr size_t auto_threads(size_t lanes) { return kAutoFlag | lanes; }
+
+/// Adaptive self-tuning execution with an explicit initial lane count.
+constexpr size_t auto_tuned_threads(size_t lanes) {
+  return kAutoFlag | kTuneFlag | lanes;
+}
 
 constexpr bool is_auto_threads(size_t threads) {
   return (threads & kAutoFlag) != 0;
 }
 
+constexpr bool is_tuned_threads(size_t threads) {
+  return (threads & kAutoFlag) != 0 && (threads & kTuneFlag) != 0;
+}
+
 /// The lane-count request carried by an adaptive knob (0 = hardware).
 constexpr size_t auto_lane_request(size_t threads) {
-  return threads & ~kAutoFlag;
+  return threads & ~(kAutoFlag | kTuneFlag);
 }
 
 /// Execution counters of one FrontierEngine, aggregated across its
@@ -49,6 +68,13 @@ struct EngineStats {
   uint64_t dedup_probes = 0;     ///< fingerprint probes across all dedup sets
   uint64_t dedup_hits = 0;       ///< probes that found a duplicate
   uint64_t states_recycled = 0;  ///< StatePool acquisitions served from pool
+
+  // Adaptive-engine signals (meaningful when the knob carries kAutoFlag;
+  // static engines report their construction-time constants).
+  size_t engage_width = 0;       ///< current sequential→sharded threshold
+  size_t retreat_width = 0;      ///< current sharded→sequential threshold
+  uint64_t mode_switches = 0;    ///< representation migrations either way
+  uint64_t tuner_updates = 0;    ///< AutoTuner windows that changed a knob
 };
 
 }  // namespace selin::engine

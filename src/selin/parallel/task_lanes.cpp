@@ -1,0 +1,86 @@
+#include "selin/parallel/task_lanes.hpp"
+
+namespace selin::parallel {
+
+TaskLanes::TaskLanes(size_t lanes) : n_(lanes) {}
+
+TaskLanes::~TaskLanes() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Drain rather than abandon: posted tasks may hold references into the
+    // owner's members, which outlive this destructor (members are destroyed
+    // in reverse declaration order and owners declare their lanes last).
+    cv_idle_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskLanes::post(std::function<void()> task) {
+  if (n_ == 0) {
+    ++executed_;
+    try {
+      task();
+    } catch (...) {
+      // Defer to wait_idle(), matching the threaded lanes' discipline.
+      if (error_ == nullptr) error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    if (workers_.empty()) {
+      workers_.reserve(n_);
+      for (size_t i = 0; i < n_; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+      }
+    }
+  }
+  cv_work_.notify_one();
+}
+
+void TaskLanes::wait_idle() {
+  if (n_ == 0) {
+    if (error_ != nullptr) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+  if (error_ != nullptr) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void TaskLanes::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) return;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    --in_flight_;
+    ++executed_;
+    if (err != nullptr && error_ == nullptr) error_ = err;
+    if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+  }
+}
+
+}  // namespace selin::parallel

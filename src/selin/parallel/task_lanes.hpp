@@ -1,0 +1,77 @@
+// Fire-and-forget task lanes for deferred work off the checker hot path.
+//
+// ShardPool's epoch dispatch is SPMD — run(job) executes one job on every
+// lane and blocks the controller until the phase completes, which is exactly
+// right for the frontier engine's barrier protocol and exactly wrong for
+// work the controller wants to *shed*: checkpoint materialization in the
+// leveled checker must not stall the feed that triggered it.  TaskLanes is
+// the complementary primitive: a FIFO of independent tasks drained by
+// persistent worker lanes, with one synchronization point (wait_idle) the
+// owner calls before it reads anything the tasks write.
+//
+// Ordering and memory model:
+//   * Tasks may run on any lane in any relative order; tasks that are not
+//     independent must carry their own dependencies (the leveled checker
+//     posts only independent stripe jobs).
+//   * post() publishes everything written before it to the task (queue
+//     mutex); wait_idle() returning publishes everything tasks wrote to the
+//     caller (same mutex + completion count).  Owners therefore need no
+//     additional synchronization for slot-disjoint writes.
+//   * Workers spawn lazily on the first post, so a TaskLanes that never
+//     receives work costs nothing but its vector — the same dormancy
+//     discipline as ShardPool (leveled checkers are cloned eagerly and most
+//     never roll back).
+//
+// Exceptions: a throwing task poisons the lanes — the first exception is
+// captured and rethrown from the next wait_idle() (or swallowed by the
+// destructor after draining), mirroring ShardPool's rethrow-at-the-barrier
+// discipline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace selin::parallel {
+
+class TaskLanes {
+ public:
+  explicit TaskLanes(size_t lanes);
+  TaskLanes(const TaskLanes&) = delete;
+  TaskLanes& operator=(const TaskLanes&) = delete;
+  ~TaskLanes();
+
+  size_t lanes() const { return n_; }
+
+  /// Enqueue `task`; returns immediately.  With 0 lanes the task runs
+  /// inline (degenerate mode for single-threaded deployments and tests).
+  void post(std::function<void()> task);
+
+  /// Block until every posted task has finished; rethrows the first task
+  /// exception captured since the last wait_idle().
+  void wait_idle();
+
+  /// Tasks executed so far (diagnostics; stable only after wait_idle()).
+  uint64_t executed() const { return executed_; }
+
+ private:
+  void worker_loop();
+
+  size_t n_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;   // workers wait for tasks
+  std::condition_variable cv_idle_;   // wait_idle waits for completion
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // dequeued but not yet finished
+  uint64_t executed_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::vector<std::thread> workers_;  // spawned lazily on first post
+};
+
+}  // namespace selin::parallel

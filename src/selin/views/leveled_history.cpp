@@ -65,42 +65,167 @@ History XBuilder::flatten() const {
   return out;
 }
 
+LeveledChecker::LeveledChecker(const GenLinObject& obj, const Options& opts)
+    : obj_(&obj), stride_(opts.stride == 0 ? 1 : opts.stride),
+      threads_(opts.threads), snapshot_lanes_(opts.snapshot_lanes) {
+  if (snapshot_lanes_ > 0) {
+    lanes_ = std::make_unique<parallel::TaskLanes>(snapshot_lanes_);
+  }
+}
+
+LeveledChecker::~LeveledChecker() = default;
+
+void LeveledChecker::ensure_monitor() {
+  if (cur_ == nullptr) {
+    cur_ = obj_->monitor(threads_);
+    fed_ = 0;
+  }
+}
+
 void LeveledChecker::feed_level(const Level& lvl) {
   // Monitors are sticky-false, so feeding past a failed level is harmless;
   // GenLin objects are prefix-closed, hence a failing prefix settles the
   // verdict anyway.
   for (const OpDesc& op : lvl.invs) cur_->feed(Event::inv(op));
   for (const auto& [op, y] : lvl.ress) cur_->feed(Event::res(op, y));
+  if (stripe_open_) {
+    // Copy the level's events for the in-flight stripe: lane jobs replay
+    // from these copies, never from the caller's mutable XBuilder.
+    for (const OpDesc& op : lvl.invs) chunk_.push_back(Event::inv(op));
+    for (const auto& [op, y] : lvl.ress) chunk_.push_back(Event::res(op, y));
+  }
   ++fed_;
-  if (fed_ % stride_ == 0) {
-    size_t idx = fed_ / stride_ - 1;
-    if (checkpoints_.size() <= idx) checkpoints_.resize(idx + 1);
+  if (fed_ % stride_ != 0) return;
+
+  const size_t idx = fed_ / stride_ - 1;
+  if (checkpoints_.size() <= idx) checkpoints_.resize(idx + 1);
+  if (lanes_ == nullptr) {
+    // Synchronous discipline: one clone per boundary, on the feed path.
     checkpoints_[idx] = cur_->clone();
+    return;
+  }
+  if (!stripe_open_) {
+    // Stripe seed: the one inline clone per kStripe boundaries.
+    checkpoints_[idx] = cur_->clone();
+    stripe_open_ = true;
+    stripe_seed_ = idx;
+    stripe_chunks_.clear();
+    chunk_.clear();
+    return;
+  }
+  // Interior boundary: its checkpoint is owed by the stripe's lane job.
+  stripe_chunks_.push_back(std::move(chunk_));
+  chunk_.clear();
+  if (stripe_chunks_.size() == kStripe - 1) {
+    post_stripe();
+    stripe_open_ = false;
   }
 }
 
-bool LeveledChecker::resync(const XBuilder& builder, size_t from_level) {
-  const auto& levels = builder.levels();
-  if (cur_ == nullptr) {
+void LeveledChecker::post_stripe() {
+  auto job = std::make_shared<StripeJob>();
+  job->seed = checkpoints_[stripe_seed_].get();
+  job->seed_index = stripe_seed_;
+  job->chunks = std::move(stripe_chunks_);
+  stripe_chunks_.clear();
+  pending_.push_back(job);
+  lanes_->post([job] {
+    std::unique_ptr<MembershipMonitor> m = job->seed->clone();
+    for (size_t r = 0; r < job->chunks.size(); ++r) {
+      for (const Event& e : job->chunks[r]) m->feed(e);
+      if (r + 1 < job->chunks.size()) {
+        job->built.push_back(m->clone());
+      } else {
+        job->built.push_back(std::move(m));  // last one needs no extra clone
+      }
+    }
+    job->done.store(true, std::memory_order_release);
+  });
+}
+
+void LeveledChecker::harvest(bool wait) {
+  if (lanes_ == nullptr || pending_.empty()) return;
+  if (wait) lanes_->wait_idle();
+  auto it = pending_.begin();
+  while (it != pending_.end()) {
+    StripeJob& job = **it;
+    if (!job.done.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
+    }
+    for (size_t r = 0; r < job.built.size(); ++r) {
+      const size_t slot = job.seed_index + 1 + r;
+      if (slot < checkpoints_.size() && checkpoints_[slot] == nullptr) {
+        checkpoints_[slot] = std::move(job.built[r]);
+      }
+    }
+    it = pending_.erase(it);
+  }
+}
+
+void LeveledChecker::rollback(size_t from_level) {
+  ++rollbacks_;
+  // Quiesce the lanes before touching checkpoint storage: every pending
+  // stripe completes (and is harvested), so no job can observe the
+  // truncation below.
+  harvest(/*wait=*/true);
+  // Abandon any half-accumulated stripe — its levels are being rolled over.
+  stripe_open_ = false;
+  stripe_chunks_.clear();
+  chunk_.clear();
+
+  const size_t ckpt = from_level / stride_;  // checkpoints at or below
+  size_t keep = ckpt;
+  while (keep > 0 &&
+         (keep - 1 >= checkpoints_.size() || checkpoints_[keep - 1] == nullptr)) {
+    --keep;  // skip unmaterialized slots (stripe still owed at truncation)
+  }
+  if (keep == 0) {
     cur_ = obj_->monitor(threads_);
     fed_ = 0;
+  } else {
+    cur_ = checkpoints_[keep - 1]->clone();
+    fed_ = keep * stride_;
   }
-  if (from_level < fed_) {
-    // A record landed in the middle: restore the nearest checkpoint at or
-    // below from_level and replay.
-    size_t ckpt = from_level / stride_;  // checkpoints below
-    if (ckpt == 0) {
-      cur_ = obj_->monitor(threads_);
-      fed_ = 0;
-    } else {
-      cur_ = checkpoints_[ckpt - 1]->clone();
-      fed_ = ckpt * stride_;
-    }
-    checkpoints_.resize(ckpt);
+  // Release the stale clones eagerly — a rollback must not leave monitors
+  // above the truncation point alive until some later feed happens to
+  // overwrite them.
+  for (size_t i = keep; i < checkpoints_.size(); ++i) checkpoints_[i].reset();
+  checkpoints_.resize(keep);
+}
+
+bool LeveledChecker::resync(const XBuilder& builder, size_t from_level) {
+  const size_t dirty[1] = {from_level};
+  return resync(builder, std::span<const size_t>(dirty, 1));
+}
+
+bool LeveledChecker::resync(const XBuilder& builder,
+                            std::span<const size_t> dirty_levels) {
+  const auto& levels = builder.levels();
+  ensure_monitor();
+  harvest(/*wait=*/false);  // fold completed stripes in while we are here
+  size_t from = fed_;
+  for (size_t d : dirty_levels) from = std::min(from, d);
+  if (dirty_levels.size() > 1) {
+    peak_storm_records_ = std::max(peak_storm_records_, dirty_levels.size());
+  }
+  if (from < fed_) {
+    const size_t old_fed = fed_;
+    rollback(from);
+    // Replayed = previously fed levels re-fed below the old frontier; the
+    // merge's brand-new levels would have been fed either way.
+    replayed_levels_ += std::min(old_fed, levels.size()) - fed_;
   }
   while (fed_ < levels.size()) feed_level(levels[fed_]);
   ok_ = cur_->ok();
   return ok_;
+}
+
+size_t LeveledChecker::checkpoint_count() {
+  harvest(/*wait=*/true);
+  size_t n = 0;
+  for (const auto& c : checkpoints_) n += c != nullptr ? 1 : 0;
+  return n;
 }
 
 }  // namespace selin

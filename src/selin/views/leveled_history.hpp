@@ -13,14 +13,22 @@
 //   * LeveledChecker memoizes the membership monitor state after every
 //     level, so a change at level k re-feeds only levels k..m.
 //
-// The two classes are deliberately single-threaded: each verifier process
-// owns one pair and feeds it from its own snapshots (Line 08 of Figure 10),
-// mirroring the paper's "each process locally tests" discipline.
+// Each verifier process owns one builder/checker pair and feeds it from its
+// own snapshots (Line 08 of Figure 10), mirroring the paper's "each process
+// locally tests" discipline — the *protocol* stays single-threaded.  The
+// checker's internals, however, may shed work onto private helper threads:
+// the membership monitors can run the sharded frontier engine (the `threads`
+// knob), and checkpoint materialization can run on snapshot lanes
+// (`snapshot_lanes`), neither of which is visible through the snapshot
+// object M.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "selin/parallel/task_lanes.hpp"
 #include "selin/spec/spec.hpp"
 #include "selin/views/lambda.hpp"
 
@@ -59,10 +67,29 @@ class XBuilder {
 /// Memoizing membership evaluator over an XBuilder.
 ///
 /// Keeps one live monitor at the current frontier plus sparse checkpoints
-/// every kCheckpointStride levels; a change at level k restores the nearest
-/// checkpoint at or below k and replays forward (at most kCheckpointStride-1
-/// extra levels).  Appends — the overwhelmingly common case — advance the
-/// live monitor directly, so the amortized per-operation cost is one level.
+/// every `stride` levels; a change at level k restores the nearest
+/// checkpoint at or below k and replays forward.  Appends — the
+/// overwhelmingly common case — advance the live monitor directly, so the
+/// amortized per-operation cost is one level.
+///
+/// Replaying a monitor fold is inherently sequential in its *state* (the
+/// configuration frontier after level k feeds level k+1), so rollback
+/// replay cannot be split across checkpoint segments without changing what
+/// is computed.  What parallelizes honestly, and what this class does when
+/// configured for it, is everything *around* that chain:
+///
+///   * the replayed monitor itself can run the sharded/adaptive frontier
+///     engine (`threads` — engine::kAutoThreads is the natural fit: most
+///     replays are narrow, and precisely the expensive rollback storms go
+///     wide enough to engage the shards);
+///   * checkpoint materialization moves off the feed hot path entirely
+///     (`snapshot_lanes > 0`): the live monitor is cloned only at every
+///     kStripe-th boundary (the stripe *seed*), and the interior
+///     checkpoints of each stripe are rebuilt concurrently on snapshot
+///     lanes from the seed plus a copy of the stripe's events — stripes are
+///     mutually independent, so a rollback storm's checkpoint regeneration
+///     runs on as many lanes as there are dirty stripes while the verdict
+///     replay streams ahead undisturbed.
 class LeveledChecker {
  public:
   /// Tuned default for `checkpoint_stride` (bench_ablation sweeps it);
@@ -70,38 +97,120 @@ class LeveledChecker {
   /// repeating the number.
   static constexpr size_t kDefaultStride = 16;
 
-  /// `checkpoint_stride` trades rollback-replay cost (≤ stride-1 levels)
-  /// against checkpoint memory/clone cost (one monitor clone per stride
-  /// levels).  bench_ablation sweeps it; 16 is the tuned default.
-  /// `threads` is forwarded to the object's monitor factory (0 = object
-  /// default; > 1 requests the parallel sharded frontier engine;
-  /// engine::kAutoThreads the adaptive one — a good fit here, since most
-  /// checkpoint replays are narrow and only rollback storms go wide).
+  /// Checkpoint stripe width under async snapshotting: one inline seed
+  /// clone per kStripe boundaries, kStripe-1 checkpoints rebuilt per lane
+  /// job.  Trades hot-path clone count (1/kStripe of inline) against
+  /// rollback slack (a rollback into a stripe whose job has not completed
+  /// replays up to kStripe·stride levels from the seed below it).
+  static constexpr size_t kStripe = 4;
+
+  struct Options {
+    /// Trades rollback-replay cost against checkpoint memory/clone cost.
+    size_t stride = kDefaultStride;
+    /// Forwarded to the object's monitor factory (0 = object default; > 1
+    /// the parallel sharded frontier engine; engine::kAutoThreads the
+    /// adaptive one; | engine::kTuneFlag for stats-feedback tuning).
+    size_t threads = 0;
+    /// 0 = checkpoints cloned inline at every stride boundary (the fully
+    /// synchronous discipline).  N > 0 = deferred snapshotting: seeds
+    /// inline every kStripe-th boundary, interiors rebuilt on N lanes.
+    size_t snapshot_lanes = 0;
+  };
+
   explicit LeveledChecker(const GenLinObject& obj,
                           size_t checkpoint_stride = kDefaultStride,
                           size_t threads = 0)
-      : obj_(&obj), stride_(checkpoint_stride == 0 ? 1 : checkpoint_stride),
-        threads_(threads) {}
+      : LeveledChecker(obj, Options{checkpoint_stride, threads, 0}) {}
+
+  LeveledChecker(const GenLinObject& obj, const Options& opts);
+  LeveledChecker(const LeveledChecker&) = delete;
+  LeveledChecker& operator=(const LeveledChecker&) = delete;
+  ~LeveledChecker();
 
   /// Re-evaluates after the builder changed at `from_level`; returns the
   /// current verdict X(λ) ∈ O.
   bool resync(const XBuilder& builder, size_t from_level);
 
+  /// Batched form: one pass over a merge that dirtied several levels (the
+  /// rollback-storm shape MonitorCore produces).  Restores once, below the
+  /// lowest dirty level, instead of once per record.
+  bool resync(const XBuilder& builder, std::span<const size_t> dirty_levels);
+
   bool ok() const { return ok_; }
 
- private:
+  /// Materialized checkpoints (quiesces the snapshot lanes first).  Under
+  /// the synchronous discipline this is exactly levels_fed() / stride after
+  /// any resync — the eager-release regression tests key on that; under
+  /// async snapshotting the trailing open stripe's interiors may still be
+  /// pending (bounded by kStripe - 1).
+  size_t checkpoint_count();
 
-  /// Feed one level into the live monitor, snapshotting checkpoints.
+  /// Levels consumed by the live monitor (diagnostics).
+  size_t levels_fed() const { return fed_; }
+
+  uint64_t rollbacks() const { return rollbacks_; }
+  /// Previously fed levels re-fed by rollbacks (appended-for-the-first-time
+  /// levels are not replay cost).
+  uint64_t replayed_levels() const { return replayed_levels_; }
+  /// Widest dirty-level batch one resync has received (> 1 only when a
+  /// merge dirtied several levels at once — the rollback-storm shape; the
+  /// stride/kStripe tuning ROADMAP.md plans keys on this and
+  /// replayed_levels()).
+  size_t peak_storm_records() const { return peak_storm_records_; }
+
+ private:
+  /// A stripe's interior-checkpoint rebuild, shared with one snapshot lane:
+  /// the lane clones the seed, folds the event chunks, and parks the
+  /// resulting monitors in `built`; the controller harvests them into
+  /// checkpoints_ after observing `done`.  The lane never touches the
+  /// checkpoints_ vector (the controller may grow it concurrently) and
+  /// never reads the mutable XBuilder (events are copied in at post time).
+  struct StripeJob {
+    const MembershipMonitor* seed = nullptr;  // stays alive until harvested
+    size_t seed_index = 0;
+    std::vector<std::vector<Event>> chunks;   // one per interior checkpoint
+    std::vector<std::unique_ptr<MembershipMonitor>> built;
+    std::atomic<bool> done{false};
+  };
+
+  void ensure_monitor();
+  /// Feed one level into the live monitor, applying the checkpoint policy
+  /// (inline clone, stripe seed, or stripe-chunk accumulation) at stride
+  /// boundaries.
   void feed_level(const Level& lvl);
+  /// Restore the nearest materialized checkpoint at or below `from_level`,
+  /// eagerly releasing everything above it.
+  void rollback(size_t from_level);
+  void post_stripe();
+  /// Move completed stripe results into their checkpoint slots.
+  void harvest(bool wait);
 
   const GenLinObject* obj_;
   size_t stride_;
   size_t threads_ = 0;
+  size_t snapshot_lanes_ = 0;
   std::unique_ptr<MembershipMonitor> cur_;  // state after levels [0, fed_)
   size_t fed_ = 0;                          // levels consumed by cur_
-  /// checkpoints_[i] = monitor state after (i+1)*stride_ levels.
+  /// checkpoints_[i] = monitor state after (i+1)*stride_ levels; nullptr
+  /// while the owning stripe's rebuild is in flight.  Controller-written
+  /// only — snapshot lanes publish through StripeJob::built.
   std::vector<std::unique_ptr<MembershipMonitor>> checkpoints_;
   bool ok_ = true;
+
+  // Stripe accumulation (async mode).
+  bool stripe_open_ = false;
+  size_t stripe_seed_ = 0;                   // checkpoint index of the seed
+  std::vector<std::vector<Event>> stripe_chunks_;
+  std::vector<Event> chunk_;                 // events since last boundary
+  std::vector<std::shared_ptr<StripeJob>> pending_;
+
+  uint64_t rollbacks_ = 0;
+  uint64_t replayed_levels_ = 0;
+  size_t peak_storm_records_ = 0;
+
+  // Declared last so destruction drains the lanes before any member a
+  // posted job references goes away.
+  std::unique_ptr<parallel::TaskLanes> lanes_;
 };
 
 }  // namespace selin

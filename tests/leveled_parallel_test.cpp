@@ -1,0 +1,422 @@
+// Parallel checkpoint replay for the leveled checker and the stats-feedback
+// auto-tuner:
+//
+//   * verdict parity — sequential (inline checkpoints, sequential monitors)
+//     vs parallel (async snapshot lanes, adaptive sharded monitors) replay
+//     across checkpoint strides, on storm-shaped publish orders;
+//   * rollback-storm determinism — repeated parallel runs produce the
+//     identical verdict sequence (the TSan CI leg runs this test);
+//   * eager checkpoint release on rollback — live-monitor accounting
+//     through a counting wrapper object, plus checkpoint_count();
+//   * AutoTuner monotonicity — each tick moves every knob at most one
+//     bounded step toward the window's signal, applied only at window
+//     boundaries, without changing any verdict.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "test_util.hpp"
+
+#include "selin/engine/auto_tuner.hpp"
+#include "selin/parallel/task_lanes.hpp"
+
+namespace selin {
+namespace {
+
+// Hand-rolled chain builder for deterministic view construction (the same
+// shape views_test uses).
+class ChainBuilder {
+ public:
+  explicit ChainBuilder(size_t n) : heads_(n, nullptr) {}
+
+  const SetNode* announce(const OpDesc& op) {
+    ProcId p = op.id.pid;
+    nodes_.push_back(std::make_unique<SetNode>(SetNode{
+        op, heads_[p], heads_[p] == nullptr ? 1u : heads_[p]->len + 1}));
+    heads_[p] = nodes_.back().get();
+    return heads_[p];
+  }
+
+  View snap() const { return View(heads_); }
+
+ private:
+  std::vector<const SetNode*> heads_;
+  std::vector<std::unique_ptr<SetNode>> nodes_;
+};
+
+// A batch of λ-records together with a storm-shaped publish order: process
+// 0's records are published promptly while every other process trails the
+// announcement order by a few positions (its records stay unread in M for a
+// while, the Lemma 8.1 slack), so stragglers land mid-history and force
+// rollbacks while the number of simultaneously missing records — and hence
+// the pending-invocation load on the membership frontier — stays bounded.
+struct StormBatch {
+  ChainBuilder chain{1};
+  std::vector<LambdaRecord> records;   // in announcement order
+  std::vector<size_t> publish_order;
+};
+
+StormBatch make_storm(ObjectKind kind, size_t procs, size_t ops,
+                      uint64_t seed, size_t delay = 6) {
+  StormBatch b;
+  b.chain = ChainBuilder(procs);
+  test::OpFactory f;
+  Rng rng(seed);
+  auto spec = make_spec(kind);
+  auto state = spec->initial();
+  std::vector<std::pair<size_t, size_t>> timed;  // (publish time, record)
+  for (size_t i = 0; i < ops; ++i) {
+    ProcId p = static_cast<ProcId>(i % procs);
+    auto [m, arg] = random_op(kind, rng);
+    OpDesc op = f.op(p, m, arg);
+    b.chain.announce(op);
+    b.records.push_back({op, state->step(m, arg), b.chain.snap()});
+    timed.push_back({p == 0 ? i : i + delay + p, i});
+  }
+  std::stable_sort(timed.begin(), timed.end());
+  for (const auto& [t, i] : timed) b.publish_order.push_back(i);
+  return b;
+}
+
+TEST(LeveledParallel, VerdictParitySequentialVsParallelAcrossStrides) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    StormBatch storm = make_storm(ObjectKind::kQueue, 3, 36, seed);
+    auto obj = make_linearizable_object(make_queue_spec());
+    for (size_t stride : {size_t{1}, size_t{4}, size_t{16}}) {
+      XBuilder seq_b, par_b;
+      LeveledChecker seq(*obj, LeveledChecker::Options{stride, 1, 0});
+      LeveledChecker par(
+          *obj, LeveledChecker::Options{stride, engine::auto_threads(2), 2});
+      for (size_t i : storm.publish_order) {
+        size_t lvl_s = seq_b.add(&storm.records[i]);
+        size_t lvl_p = par_b.add(&storm.records[i]);
+        ASSERT_EQ(lvl_s, lvl_p);
+        bool vs = seq.resync(seq_b, lvl_s);
+        bool vp = par.resync(par_b, lvl_p);
+        ASSERT_EQ(vs, vp) << "seed " << seed << " stride " << stride
+                          << " record " << i;
+        ASSERT_EQ(vs, obj->contains(seq_b.flatten()))
+            << "seed " << seed << " stride " << stride;
+      }
+      EXPECT_GT(par.rollbacks(), 0u);
+    }
+  }
+}
+
+TEST(LeveledParallel, BatchedResyncMatchesPerRecordResync) {
+  StormBatch storm = make_storm(ObjectKind::kQueue, 3, 36, 7);
+  auto obj = make_linearizable_object(make_queue_spec());
+  XBuilder ref_b, bat_b;
+  LeveledChecker ref(*obj, LeveledChecker::Options{4, 0, 0});
+  LeveledChecker bat(*obj, LeveledChecker::Options{4, 0, 2});
+  const size_t group = 5;
+  for (size_t at = 0; at < storm.publish_order.size(); at += group) {
+    bool v_ref = true;
+    std::vector<size_t> dirty;
+    for (size_t j = at; j < std::min(at + group, storm.publish_order.size());
+         ++j) {
+      size_t i = storm.publish_order[j];
+      v_ref = ref.resync(ref_b, ref_b.add(&storm.records[i]));
+      dirty.push_back(bat_b.add(&storm.records[i]));
+    }
+    bool v_bat = bat.resync(bat_b, dirty);
+    ASSERT_EQ(v_bat, v_ref) << "group at " << at;
+  }
+  // A batch of stragglers costs one restore, not one per record, and the
+  // checker sees the storm's shape (per-record feeding never does).
+  EXPECT_LT(bat.rollbacks(), ref.rollbacks());
+  EXPECT_GT(bat.peak_storm_records(), 1u);
+  EXPECT_EQ(ref.peak_storm_records(), 0u);
+}
+
+TEST(LeveledParallel, RollbackStormDeterminism) {
+  // Two identical parallel runs and a sequential reference: verdict
+  // sequences must be identical run over run (lanes and sharded monitors
+  // may interleave however they like).  TSan covers the snapshot-lane and
+  // shard handoffs when CI runs this test under -fsanitize=thread.
+  StormBatch storm = make_storm(ObjectKind::kStack, 4, 48, 11);
+  auto obj = make_linearizable_object(make_stack_spec());
+  auto run = [&](const LeveledChecker::Options& opts) {
+    XBuilder b;
+    LeveledChecker checker(*obj, opts);
+    std::vector<bool> verdicts;
+    for (size_t i : storm.publish_order) {
+      verdicts.push_back(checker.resync(b, b.add(&storm.records[i])));
+    }
+    return verdicts;
+  };
+  auto seq = run(LeveledChecker::Options{8, 1, 0});
+  auto par1 = run(LeveledChecker::Options{8, engine::auto_threads(4), 4});
+  auto par2 = run(LeveledChecker::Options{8, engine::auto_threads(4), 4});
+  EXPECT_EQ(par1, seq);
+  EXPECT_EQ(par2, seq);
+}
+
+// ---- eager checkpoint release ---------------------------------------------
+
+// GenLinObject wrapper whose monitors count live instances, so tests can
+// observe how many monitor clones (live frontier + checkpoints) a checker
+// keeps alive at its peak.
+class CountingMonitor final : public MembershipMonitor {
+ public:
+  CountingMonitor(std::unique_ptr<MembershipMonitor> inner,
+                  std::shared_ptr<std::atomic<int>> live,
+                  std::shared_ptr<std::atomic<int>> peak)
+      : inner_(std::move(inner)), live_(std::move(live)),
+        peak_(std::move(peak)) {
+    int now = live_->fetch_add(1) + 1;
+    int prev = peak_->load();
+    while (prev < now && !peak_->compare_exchange_weak(prev, now)) {
+    }
+  }
+  ~CountingMonitor() override { live_->fetch_sub(1); }
+
+  void feed(const Event& e) override { inner_->feed(e); }
+  bool ok() const override { return inner_->ok(); }
+  std::unique_ptr<MembershipMonitor> clone() const override {
+    return std::make_unique<CountingMonitor>(inner_->clone(), live_, peak_);
+  }
+
+ private:
+  std::unique_ptr<MembershipMonitor> inner_;
+  std::shared_ptr<std::atomic<int>> live_;
+  std::shared_ptr<std::atomic<int>> peak_;
+};
+
+class CountingObject final : public GenLinObject {
+ public:
+  explicit CountingObject(std::unique_ptr<GenLinObject> base)
+      : base_(std::move(base)),
+        live_(std::make_shared<std::atomic<int>>(0)),
+        peak_(std::make_shared<std::atomic<int>>(0)) {}
+
+  const char* name() const override { return base_->name(); }
+  std::unique_ptr<MembershipMonitor> monitor() const override {
+    return std::make_unique<CountingMonitor>(base_->monitor(), live_, peak_);
+  }
+  std::unique_ptr<MembershipMonitor> monitor(size_t threads) const override {
+    return std::make_unique<CountingMonitor>(base_->monitor(threads), live_,
+                                             peak_);
+  }
+
+  int live() const { return live_->load(); }
+  int peak() const { return peak_->load(); }
+  void reset_peak() { peak_->store(live_->load()); }
+
+ private:
+  std::unique_ptr<GenLinObject> base_;
+  std::shared_ptr<std::atomic<int>> live_;
+  std::shared_ptr<std::atomic<int>> peak_;
+};
+
+TEST(LeveledParallel, RollbackReleasesCheckpointsEagerly) {
+  // 60 prompt levels from process 0 plus one straggler from process 1 that
+  // lands at level 20.  With stride 4 the checker holds 15 checkpoints; the
+  // rollback must keep exactly the 5 below the straggler and release the 10
+  // above *before* replaying, not leave them to be overwritten by later
+  // feeds.  The counting wrapper bounds the live-monitor peak accordingly.
+  test::OpFactory f;
+  ChainBuilder cb(2);
+  auto spec = make_counter_spec();
+  auto state = spec->initial();
+  std::vector<LambdaRecord> records;
+  LambdaRecord straggler;
+  for (int i = 0; i < 60; ++i) {
+    if (i == 20) {
+      OpDesc late = f.op(1, Method::kInc);
+      cb.announce(late);
+      straggler = LambdaRecord{late, state->step(Method::kInc, kNoArg),
+                               cb.snap()};
+    }
+    OpDesc op = f.op(0, Method::kInc);
+    cb.announce(op);
+    records.push_back({op, state->step(Method::kInc, kNoArg), cb.snap()});
+  }
+
+  CountingObject obj(make_linearizable_object(make_counter_spec()));
+  XBuilder b;
+  LeveledChecker checker(obj, LeveledChecker::Options{4, 0, 0});
+  for (LambdaRecord& r : records) {
+    ASSERT_TRUE(checker.resync(b, b.add(&r)));
+  }
+  ASSERT_EQ(checker.levels_fed(), 60u);
+  ASSERT_EQ(checker.checkpoint_count(), 15u);
+  ASSERT_EQ(obj.live(), 16);  // live monitor + 15 checkpoints
+
+  obj.reset_peak();
+  ASSERT_TRUE(checker.resync(b, b.add(&straggler)));
+  EXPECT_EQ(checker.levels_fed(), 61u);
+  EXPECT_EQ(checker.checkpoint_count(), 15u);  // 61 / 4, rebuilt on replay
+  EXPECT_EQ(obj.live(), 16);
+  // Peak live monitors during the rollback+replay: the live monitor, the 5
+  // surviving checkpoints, the 10 rebuilt ones, and one transient restore
+  // clone.  Without eager release the 10 stale clones double up (>= 26).
+  EXPECT_LE(obj.peak(), 17);
+  EXPECT_GT(checker.rollbacks(), 0u);
+}
+
+// ---- auto-tuner -----------------------------------------------------------
+
+TEST(AutoTuner, DupHeavyParallelWindowsRaiseEngageMonotonically) {
+  engine::AutoTuner t(384, 96, 4, 8);
+  engine::TunerWindow w;
+  w.peak_width = 1024;
+  w.rounds_sequential = 2;
+  w.rounds_parallel = 30;
+  w.dedup_probes = 1000;
+  w.dedup_hits = 800;  // 80% duplicates: parallel rounds amortize poorly
+  size_t prev = t.engage();
+  for (int i = 0; i < 40; ++i) {
+    t.tick(w);
+    EXPECT_GE(t.engage(), prev);                      // monotone toward signal
+    EXPECT_LE(t.engage(), prev + prev / 4);           // one bounded step
+    EXPECT_EQ(t.retreat(), std::max<size_t>(t.engage() / 4, 1));
+    prev = t.engage();
+  }
+  EXPECT_EQ(t.engage(), engine::AutoTuner::kMaxEngage);  // saturates, stays
+}
+
+TEST(AutoTuner, DupLightNearMissWindowsLowerEngageMonotonically) {
+  engine::AutoTuner t(384, 96, 1, 8);
+  engine::TunerWindow w;
+  w.rounds_sequential = 32;
+  w.dedup_probes = 1000;
+  w.dedup_hits = 100;  // cheap dedup, frontier hovers just under engage
+  size_t prev = t.engage();
+  for (int i = 0; i < 40; ++i) {
+    w.peak_width = t.engage() - 1;  // persistent near miss
+    t.tick(w);
+    EXPECT_LE(t.engage(), prev);
+    EXPECT_GE(t.engage() + prev / 5 + 1, prev);       // one bounded step
+    prev = t.engage();
+  }
+  EXPECT_EQ(t.engage(), engine::AutoTuner::kMinEngage);
+}
+
+TEST(AutoTuner, ThrashingWidensTheHysteresisGap) {
+  engine::AutoTuner t(384, 96, 2, 8);
+  engine::TunerWindow w;
+  w.peak_width = 400;
+  w.rounds_sequential = 16;
+  w.rounds_parallel = 16;
+  w.mode_switches = 6;  // flipping representations every few rounds
+  size_t gap_before = t.engage() - t.retreat();
+  t.tick(w);
+  EXPECT_EQ(t.engage(), 768u);  // doubled
+  EXPECT_GT(t.engage() - t.retreat(), gap_before);
+}
+
+TEST(AutoTuner, LaneTargetFollowsPeakWidthWithoutOscillating) {
+  engine::AutoTuner t(384, 96, 2, 8);
+  engine::TunerWindow wide;
+  wide.peak_width = 8 * engine::AutoTuner::kWidthPerLane;
+  wide.rounds_sequential = 8;
+  wide.rounds_parallel = 24;
+  wide.dedup_probes = 100;
+  wide.dedup_hits = 10;
+  t.tick(wide);
+  EXPECT_EQ(t.lanes(), 4u);  // doubling step toward 8
+  t.tick(wide);
+  EXPECT_EQ(t.lanes(), 8u);
+  t.tick(wide);
+  EXPECT_EQ(t.lanes(), 8u);  // at target: stable, no oscillation
+
+  engine::TunerWindow narrow;
+  narrow.peak_width = 64;
+  narrow.rounds_sequential = 32;
+  narrow.dedup_probes = 100;
+  narrow.dedup_hits = 10;
+  t.tick(narrow);
+  EXPECT_EQ(t.lanes(), 7u);  // shrink is gentle: one lane per idle window
+  engine::TunerWindow narrow_busy = narrow;
+  narrow_busy.rounds_parallel = 4;  // pool still busy: no shrink
+  t.tick(narrow_busy);
+  EXPECT_EQ(t.lanes(), 7u);
+}
+
+TEST(AutoTuner, EngineAppliesTicksOnlyAtWindowBoundariesWithVerdictParity) {
+  // A tuned monitor must produce exactly the sequential verdicts, and its
+  // effective thresholds may move only every AutoTuner::kWindow response
+  // rounds — never mid-window, so a feed can't see a knob oscillate.
+  for (ObjectKind kind : {ObjectKind::kQueue, ObjectKind::kCounter}) {
+    History h = test::random_linearizable_history(kind, 5, 120, 23);
+    auto spec_ref = make_spec(kind);
+    auto spec_tuned = make_spec(kind);
+    LinMonitor ref(*spec_ref, 1 << 18, 1);
+    LinMonitor tuned(*spec_tuned, 1 << 18, engine::auto_tuned_threads(2));
+    size_t changes = 0;
+    uint64_t responses = 0;
+    size_t prev_engage = tuned.stats().engage_width;
+    size_t prev_lanes = tuned.stats().lanes;
+    for (const Event& e : h) {
+      ref.feed(e);
+      tuned.feed(e);
+      ASSERT_EQ(tuned.ok(), ref.ok());
+      if (e.is_res()) ++responses;
+      engine::EngineStats s = tuned.stats();
+      if (s.engage_width != prev_engage || s.lanes != prev_lanes) {
+        ++changes;
+        EXPECT_EQ(responses % engine::AutoTuner::kWindow, 0u)
+            << "knob moved mid-window";
+        prev_engage = s.engage_width;
+        prev_lanes = s.lanes;
+      }
+    }
+    EXPECT_LE(changes, responses / engine::AutoTuner::kWindow);
+  }
+}
+
+TEST(AutoTuner, NarrowTunedWorkloadShedsIdleLanes) {
+  // A persistently narrow frontier cannot feed two lanes; the tuner should
+  // walk the lane count down to one and keep the engage threshold where it
+  // started (no thrash, no parallel rounds, dup-heavy counter workload).
+  History h = test::random_linearizable_history(ObjectKind::kCounter, 3, 200,
+                                                31);
+  auto spec = make_spec(ObjectKind::kCounter);
+  LinMonitor tuned(*spec, 1 << 18, engine::auto_tuned_threads(2));
+  ASSERT_EQ(tuned.stats().lanes, 2u);
+  std::vector<size_t> lane_history;
+  for (const Event& e : h) {
+    tuned.feed(e);
+    lane_history.push_back(tuned.stats().lanes);
+  }
+  EXPECT_EQ(lane_history.back(), 1u);
+  // Monotone descent: once shed, a lane never comes back on this workload.
+  for (size_t i = 1; i < lane_history.size(); ++i) {
+    EXPECT_LE(lane_history[i], lane_history[i - 1]);
+  }
+  EXPECT_GE(tuned.stats().tuner_updates, 1u);
+}
+
+// ---- task lanes -----------------------------------------------------------
+
+TEST(TaskLanes, ExecutesPostedTasksAndWaitsIdle) {
+  parallel::TaskLanes lanes(3);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    lanes.post([&sum, i] { sum.fetch_add(i); });
+  }
+  lanes.wait_idle();
+  EXPECT_EQ(sum.load(), 5050);
+  EXPECT_EQ(lanes.executed(), 100u);
+}
+
+TEST(TaskLanes, RethrowsTaskExceptionAtWaitIdle) {
+  parallel::TaskLanes lanes(2);
+  lanes.post([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(lanes.wait_idle(), std::runtime_error);
+  lanes.post([] {});  // lanes stay usable after a poisoned window
+  lanes.wait_idle();
+}
+
+TEST(TaskLanes, ZeroLanesRunInline) {
+  parallel::TaskLanes lanes(0);
+  int hits = 0;
+  lanes.post([&hits] { ++hits; });
+  EXPECT_EQ(hits, 1);
+  lanes.wait_idle();
+}
+
+}  // namespace
+}  // namespace selin

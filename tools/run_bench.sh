@@ -3,14 +3,15 @@
 # and folds the results into BENCH_lincheck.json at the repo root, so the
 # perf trajectory is tracked PR over PR.
 #
-# Usage: tools/run_bench.sh [build-dir] [--facet all|parallel_scaling]
+# Usage: tools/run_bench.sh [build-dir] [--facet all|parallel_scaling|leveled_replay]
 #
 # --facet parallel_scaling re-runs only BM_ParallelFrontierScaling and
 # replaces just the `parallel_scaling` facet of BENCH_lincheck.json, leaving
 # every other recorded number untouched.  Use it to re-record the scaling
 # facet alone on a multi-core host (the facet is meaningless when
 # num_cpus < shards, and re-running the full suite there would overwrite
-# the tracked single-host trajectory).
+# the tracked single-host trajectory).  --facet leveled_replay does the same
+# for the leveled checker's rollback-storm facet (bench_leveled_replay).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -36,8 +37,8 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 case "$facet" in
-  all|parallel_scaling) ;;
-  *) echo "error: unknown facet '$facet' (all | parallel_scaling)" >&2; exit 2 ;;
+  all|parallel_scaling|leveled_replay) ;;
+  *) echo "error: unknown facet '$facet' (all | parallel_scaling | leveled_replay)" >&2; exit 2 ;;
 esac
 
 tmp="$(mktemp -d)"
@@ -52,6 +53,13 @@ if [[ "$facet" == "parallel_scaling" ]]; then
   "$build_dir/bench_lincheck" \
       --benchmark_filter='BM_ParallelFrontierScaling' \
       --benchmark_out="$tmp/lincheck.json" --benchmark_out_format=json
+elif [[ "$facet" == "leveled_replay" ]]; then
+  if [[ ! -x "$build_dir/bench_leveled_replay" ]]; then
+    echo "error: bench_leveled_replay not built in $build_dir" >&2
+    exit 1
+  fi
+  "$build_dir/bench_leveled_replay" \
+      --benchmark_out="$tmp/leveled.json" --benchmark_out_format=json
 else
   if [[ ! -x "$build_dir/bench_detection" ]]; then
     echo "error: benchmarks not built in $build_dir (cmake -B build -S . && cmake --build build -j)" >&2
@@ -61,12 +69,16 @@ else
       --benchmark_out="$tmp/lincheck.json" --benchmark_out_format=json
   "$build_dir/bench_detection" \
       --benchmark_out="$tmp/detection.json" --benchmark_out_format=json
+  if [[ -x "$build_dir/bench_leveled_replay" ]]; then
+    "$build_dir/bench_leveled_replay" \
+        --benchmark_out="$tmp/leveled.json" --benchmark_out_format=json
+  fi
 fi
 
-python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$out" <<'EOF'
+python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$tmp/leveled.json" "$out" <<'EOF'
 import json, sys
 
-mode, lincheck, detection, out = sys.argv[1:5]
+mode, lincheck, detection, leveled, out = sys.argv[1:6]
 
 def load(path):
     with open(path) as f:
@@ -104,6 +116,53 @@ def parallel_scaling_facet(run):
         },
     }
 
+def leveled_replay_facet(run):
+    """Rollback-storm throughput of the leveled checker by replay lane count
+    (BM_LeveledRollbackStorm: adaptive sharded replay monitors + async
+    snapshot lanes vs the sequential discipline at lanes=1), plus the
+    snapshot-mode A/B (BM_LeveledSnapshotMode).  Scaling requires
+    cores >= lanes; num_cpus is recorded alongside."""
+    per_lanes, modes = {}, {}
+    for b in run["benchmarks"]:
+        name = b.get("name", "")
+        if b.get("run_type") == "aggregate" or "items_per_second" not in b:
+            continue
+        if name.startswith("BM_LeveledRollbackStorm/"):
+            per_lanes[name.split("/")[1]] = b["items_per_second"]
+        elif name.startswith("BM_LeveledSnapshotMode/"):
+            arm = "async-stripes" if name.split("/")[1] == "1" else "inline"
+            modes[arm] = b["items_per_second"]
+    if not per_lanes:
+        return None
+    base = per_lanes.get("1")
+    return {
+        "workload": "rollback storm (88-level pqueue spine, 10 stragglers "
+                    "=> 2^10-wide replay frontier, one rollback each)",
+        "num_cpus": run["context"].get("num_cpus"),
+        "items_per_second_by_lanes": per_lanes,
+        "speedup_vs_1_lane": {
+            s: (v / base if base else None) for s, v in per_lanes.items()
+        },
+        "snapshot_mode_items_per_second": modes or None,
+    }
+
+# The leveled_replay facet mode runs bench_leveled_replay alone, so no
+# lincheck.json exists to load — handle it before touching the other runs.
+if mode == "leveled_replay":
+    facet = leveled_replay_facet(load(leveled))
+    if facet is None:
+        sys.exit("error: no BM_LeveledRollbackStorm results in this run")
+    try:
+        with open(out) as f:
+            result = json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        sys.exit(f"error: {out} missing or unreadable; run the full suite first")
+    result["leveled_replay"] = facet
+    with open(out, "w") as f:
+        json.dump(result, f, indent=1)
+    print(f"updated leveled_replay facet of {out}")
+    sys.exit(0)
+
 lincheck_run = load(lincheck)
 scaling = parallel_scaling_facet(lincheck_run)
 
@@ -124,14 +183,21 @@ if mode == "parallel_scaling":
 result = {"bench_lincheck": lincheck_run, "bench_detection": load(detection)}
 if scaling is not None:
     result["parallel_scaling"] = scaling
+try:
+    leveled_facet = leveled_replay_facet(load(leveled))
+except FileNotFoundError:
+    leveled_facet = None
+if leveled_facet is not None:
+    result["leveled_replay"] = leveled_facet
 
 # Preserve facets recorded by earlier PRs/other hosts when this run did not
-# produce them (baseline_string_key is PR 1's string-key engine baseline).
+# produce them (baseline_string_key is PR 1's string-key engine baseline;
+# leveled_replay goes missing when bench_leveled_replay wasn't built).
 try:
     with open(out) as f:
         prev = json.load(f)
-    for key in ("baseline_string_key",):
-        if key in prev:
+    for key in ("baseline_string_key", "leveled_replay", "parallel_scaling"):
+        if key in prev and key not in result:
             result[key] = prev[key]
 except (FileNotFoundError, json.JSONDecodeError):
     pass

@@ -2,14 +2,18 @@
 //
 // Usage:
 //   selin_check <object> <history-file> [--witness] [--quiet]
-//               [--threads N|auto] [--stats]
+//               [--threads N|auto] [--tune] [--stats]
 //   selin_check <object> -              (read from stdin)
 //
 // <object>: queue | stack | set | pqueue | counter | register | consensus
 //
 // --threads N (N > 1) runs the membership test on the parallel sharded
 // frontier engine; --threads auto lets the engine pick sequential vs sharded
-// per feed round by frontier width.  The witness (--witness) always comes
+// per feed round by frontier width.  --tune (requires --threads auto)
+// attaches the engine::AutoTuner, which feeds the engine's own stats —
+// dedup hit rate, peak frontier width, round mix — back into the
+// engage/retreat thresholds and the lane count online, replacing the fixed
+// hysteresis constants.  The witness (--witness) always comes
 // from the sequential DFS, which is the only engine that records a
 // linearization order.  --stats prints the engine's execution counters
 // (peak frontier width, dedup hit rate, recycled states, rounds dispatched
@@ -49,7 +53,7 @@ std::optional<ObjectKind> parse_object(const std::string& s) {
 int usage() {
   std::cerr << "usage: selin_check <queue|stack|set|pqueue|counter|register|"
                "consensus> <file|-> [--witness] [--quiet] [--threads N|auto] "
-               "[--stats]\n";
+               "[--tune] [--stats]\n";
   return 2;
 }
 
@@ -65,7 +69,11 @@ void print_stats(const engine::EngineStats& s) {
             << " peak_frontier=" << s.peak_frontier
             << " dedup_probes=" << s.dedup_probes
             << " dedup_hit_rate=" << hit_rate
-            << " states_recycled=" << s.states_recycled << "\n";
+            << " states_recycled=" << s.states_recycled
+            << " engage=" << s.engage_width
+            << " retreat=" << s.retreat_width
+            << " mode_switches=" << s.mode_switches
+            << " tuner_updates=" << s.tuner_updates << "\n";
 }
 
 int report_overflow(const LinMonitor& m, bool want_stats) {
@@ -83,12 +91,14 @@ int main(int argc, char** argv) {
   auto kind = parse_object(argv[1]);
   if (!kind.has_value()) return usage();
   bool want_witness = false, quiet = false, want_stats = false;
+  bool want_tune = false;
   size_t threads = 1;
   for (int i = 3; i < argc; ++i) {
     std::string flag = argv[i];
     if (flag == "--witness") want_witness = true;
     else if (flag == "--quiet") quiet = true;
     else if (flag == "--stats") want_stats = true;
+    else if (flag == "--tune") want_tune = true;
     else if (flag == "--threads" && i + 1 < argc) {
       std::string v = argv[++i];
       if (v == "auto") {
@@ -104,6 +114,13 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
+  }
+  if (want_tune) {
+    if (!engine::is_auto_threads(threads)) {
+      std::cerr << "selin_check: --tune requires --threads auto\n";
+      return usage();
+    }
+    threads |= engine::kTuneFlag;
   }
 
   History h;
