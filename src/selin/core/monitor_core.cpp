@@ -11,12 +11,14 @@ namespace {
 // Checker contexts whose monitors run a parallel engine also shed their
 // checkpoint clones onto snapshot lanes; sequential deployments keep the
 // fully synchronous (and thread-free) discipline.
-LeveledChecker::Options checker_options(size_t checker_threads) {
+LeveledChecker::Options checker_options(
+    size_t checker_threads, std::shared_ptr<parallel::Executor> executor) {
   LeveledChecker::Options opts;
   opts.threads = checker_threads;
   const bool parallel =
       engine::is_auto_threads(checker_threads) || checker_threads > 1;
   opts.snapshot_lanes = parallel ? 2 : 0;
+  opts.executor = std::move(executor);
   return opts;
 }
 
@@ -24,7 +26,8 @@ LeveledChecker::Options checker_options(size_t checker_threads) {
 
 MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
                          const GenLinObject& obj, SnapshotKind kind,
-                         size_t checker_threads)
+                         size_t checker_threads,
+                         std::shared_ptr<parallel::Executor> executor)
     : obj_(&obj),
       m_(make_snapshot<const RecNode*>(kind, n_producers, nullptr)),
       producers_(n_producers),
@@ -32,14 +35,15 @@ MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
   for (CheckerSlot& c : checkers_) {
     c.seen.assign(n_producers, nullptr);
     c.checker = std::make_unique<LeveledChecker>(
-        obj, checker_options(checker_threads));
+        obj, checker_options(checker_threads, executor));
   }
 }
 
 MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
                          const GenLinObject& obj,
                          std::unique_ptr<Snapshot<const RecNode*>> m,
-                         size_t checker_threads)
+                         size_t checker_threads,
+                         std::shared_ptr<parallel::Executor> executor)
     : obj_(&obj),
       m_(std::move(m)),
       producers_(n_producers),
@@ -47,7 +51,7 @@ MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
   for (CheckerSlot& c : checkers_) {
     c.seen.assign(n_producers, nullptr);
     c.checker = std::make_unique<LeveledChecker>(
-        obj, checker_options(checker_threads));
+        obj, checker_options(checker_threads, executor));
   }
 }
 

@@ -38,14 +38,20 @@ class MonitorCore {
   /// that owns them, so the wait-free cross-thread protocol through M is
   /// unchanged).  Any parallel request also turns on the leveled checkers'
   /// deferred snapshotting, moving checkpoint clones onto snapshot lanes.
+  /// `executor` (nullptr = private lazily-created pools) is the shared lane
+  /// provider for those snapshot lanes; pass the executor the GenLinObject
+  /// was built with to keep one bounded thread pool across N cores'
+  /// checkers in a multi-tenant deployment.
   MonitorCore(size_t n_producers, size_t n_checkers, const GenLinObject& obj,
               SnapshotKind kind = SnapshotKind::kDoubleCollect,
-              size_t checker_threads = 0);
+              size_t checker_threads = 0,
+              std::shared_ptr<parallel::Executor> executor = nullptr);
 
   /// Same, with a caller-provided record object M (e.g. ABD, Section 9.4).
   MonitorCore(size_t n_producers, size_t n_checkers, const GenLinObject& obj,
               std::unique_ptr<Snapshot<const RecNode*>> m,
-              size_t checker_threads = 0);
+              size_t checker_threads = 0,
+              std::shared_ptr<parallel::Executor> executor = nullptr);
   ~MonitorCore();
 
   /// res_i ← res_i ∪ {(p_i, op_i, y_i, λ_i)}; M.Write(res_i).

@@ -87,8 +87,15 @@ class FrontierEngine {
  public:
   using Config = typename Policy::Config;
 
-  FrontierEngine(Policy policy, size_t max_configs, size_t threads)
-      : policy_(std::move(policy)), max_configs_(max_configs) {
+  /// `executor`: shared lane provider for the parallel rounds (nullptr =
+  /// the pool creates a private one lazily, the single-tenant shape).  A
+  /// multi-tenant deployment hands every engine the same executor so N
+  /// concurrent monitors share one set of worker threads sized to the
+  /// hardware instead of spawning lanes each.
+  FrontierEngine(Policy policy, size_t max_configs, size_t threads,
+                 std::shared_ptr<parallel::Executor> executor = nullptr)
+      : policy_(std::move(policy)), max_configs_(max_configs),
+        exec_(std::move(executor)) {
     if (is_auto_threads(threads)) {
       adaptive_ = true;
       lanes_ = resolve_auto_lanes(auto_lane_request(threads));
@@ -117,10 +124,10 @@ class FrontierEngine {
   }
 
   FrontierEngine(const FrontierEngine& o)
-      : policy_(o.policy_), max_configs_(o.max_configs_), lanes_(o.lanes_),
-        adaptive_(o.adaptive_), ok_(o.ok_), overflowed_(o.overflowed_),
-        engage_(o.engage_), retreat_(o.retreat_), open_(o.open_),
-        base_stats_(o.stats()) {
+      : policy_(o.policy_), max_configs_(o.max_configs_), exec_(o.exec_),
+        lanes_(o.lanes_), adaptive_(o.adaptive_), ok_(o.ok_),
+        overflowed_(o.overflowed_), engage_(o.engage_), retreat_(o.retreat_),
+        open_(o.open_), base_stats_(o.stats()) {
     if (o.tuner_ != nullptr) tuner_ = std::make_unique<AutoTuner>(*o.tuner_);
     // The clone's window starts empty; anchor the dedup-delta snapshots at
     // the inherited totals so its first tick sees only its own probes.
@@ -139,38 +146,34 @@ class FrontierEngine {
 
   FrontierEngine& operator=(const FrontierEngine&) = delete;
 
-  void feed(const Event& e) {
-    if (!ok_ || overflowed_) return;
-    ++base_stats_.events_fed;
-    if (e.is_inv()) {
-      open_.push_back(e.op);
-      return;
-    }
-    try {
-      if (adaptive_) adapt();
-      if (parallel_active_) {
-        ++base_stats_.rounds_parallel;
-        ++window_.rounds_parallel;
-        feed_res_parallel(e);
-      } else {
-        ++base_stats_.rounds_sequential;
-        ++window_.rounds_sequential;
-        feed_res_sequential(e);
+  void feed(const Event& e) { feed_batch({&e, 1}); }
+
+  /// Batched feed: the per-event closure/dedup work is amortized across
+  /// every *consecutive run of responses* in the batch.  One closure round
+  /// services the whole run — the closure set is a fixpoint, and filtering
+  /// a response only removes the op from surviving configurations, so the
+  /// filtered set is already closed under the remaining open operations
+  /// (the intermediate re-closure the per-event path performs adds nothing;
+  /// see feed_res_run).  Verdicts and post-response frontier sizes are
+  /// bit-identical to feeding the same events one at a time
+  /// (tests/engine_parity_test.cpp asserts this per spec and per mode);
+  /// only the stats differ: a run counts as one round, not one per
+  /// response, and the tuner ticks once per run.
+  void feed_batch(std::span<const Event> events) {
+    size_t i = 0;
+    while (i < events.size()) {
+      if (!ok_ || overflowed_) return;
+      if (events[i].is_inv()) {
+        ++base_stats_.events_fed;
+        open_.push_back(events[i].op);
+        ++i;
+        continue;
       }
-      if (tuner_ != nullptr) tune();
-    } catch (...) {
-      // The half-expanded frontier no longer reflects the fed prefix.
-      // Release everything and poison the engine (sticky overflowed())
-      // rather than leave it open to undefined reuse; the exception still
-      // propagates so one-shot callers see CheckerOverflow as before.
-      overflowed_ = true;
-      release_everything();
-      throw;
+      size_t j = i + 1;
+      while (j < events.size() && events[j].is_res()) ++j;
+      feed_res_run(events.subspan(i, j - i));
+      i = j;
     }
-    erase_open(e.op.id);
-    const size_t width = frontier_size();
-    base_stats_.peak_frontier = std::max(base_stats_.peak_frontier, width);
-    window_.peak_width = std::max(window_.peak_width, width);
   }
 
   bool ok() const { return ok_; }
@@ -205,7 +208,7 @@ class FrontierEngine {
   }
 
   void make_shards() {
-    pool_ = std::make_unique<parallel::ShardPool>(lanes_);
+    pool_ = std::make_unique<parallel::ShardPool>(lanes_, exec_);
     shards_ =
         std::make_unique<parallel::ShardedFrontier<Config>>(*pool_,
                                                             max_configs_);
@@ -297,36 +300,95 @@ class FrontierEngine {
     return result;
   }
 
-  void feed_res_sequential(const Event& e) {
-    std::vector<Config> expanded = closure();
-    std::vector<Config> filtered;
-    filtered.reserve(expanded.size());
-    eng_.filter_seen.clear();
-    for (Config& c : expanded) {
-      if (!policy_.match(c, e)) {
-        eng_.pool.release(std::move(c.state));
-        continue;
-      }
-      if (eng_.probe(eng_.filter_seen, c)) {
-        filtered.push_back(std::move(c));
+  /// One closure round servicing a run of consecutive response events.
+  ///
+  /// Why a single closure is enough: let S be the closure of the frontier
+  /// under the current open set O.  Filtering response r keeps exactly the
+  /// configurations of S that linearized r with the observed value, with r
+  /// removed from their bookkeeping (match never touches machine state).
+  /// Any closure move applicable to a filtered configuration F = C∖r
+  /// (C ∈ S) corresponds to the same move on C — the move cannot involve r,
+  /// which left the open set — and S is a fixpoint, so the moved C is in S
+  /// and still matches r.  The filtered set is therefore already closed
+  /// under O∖{r}, and the next response of the run can be filtered
+  /// directly.  This holds for all three policies (linearize-one,
+  /// linearize-batch, machine-invoke/machine-respond).
+  void feed_res_run(std::span<const Event> run) {
+    try {
+      if (adaptive_) adapt();
+      if (parallel_active_) {
+        ++base_stats_.rounds_parallel;
+        ++window_.rounds_parallel;
+        run_res_parallel(run);
       } else {
-        eng_.pool.release(std::move(c.state));
+        ++base_stats_.rounds_sequential;
+        ++window_.rounds_sequential;
+        run_res_sequential(run);
       }
+      if (tuner_ != nullptr) tune();
+    } catch (...) {
+      // The half-expanded frontier no longer reflects the fed prefix.
+      // Release everything and poison the engine (sticky overflowed())
+      // rather than leave it open to undefined reuse; the exception still
+      // propagates so one-shot callers see CheckerOverflow as before.
+      overflowed_ = true;
+      release_everything();
+      throw;
     }
-    for (Config& c : frontier_) eng_.pool.release(std::move(c.state));
-    frontier_ = std::move(filtered);
-    if (frontier_.empty()) ok_ = false;
   }
 
-  void feed_res_parallel(const Event& e) {
+  /// Response bookkeeping shared by both representations: the op leaves the
+  /// open set, the width counters see the post-filter frontier.  Returns
+  /// false once the frontier is empty (verdict settled; the rest of the run
+  /// is ignored, exactly as per-event feeds ignore events after !ok()).
+  bool settle_response(const Event& e, size_t width) {
+    erase_open(e.op.id);
+    base_stats_.peak_frontier = std::max(base_stats_.peak_frontier, width);
+    window_.peak_width = std::max(window_.peak_width, width);
+    if (width == 0) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  void run_res_sequential(std::span<const Event> run) {
+    std::vector<Config> cur = closure();
+    for (const Event& e : run) {
+      ++base_stats_.events_fed;
+      std::vector<Config> filtered;
+      filtered.reserve(cur.size());
+      eng_.filter_seen.clear();
+      for (Config& c : cur) {
+        if (!policy_.match(c, e)) {
+          eng_.pool.release(std::move(c.state));
+          continue;
+        }
+        if (eng_.probe(eng_.filter_seen, c)) {
+          filtered.push_back(std::move(c));
+        } else {
+          eng_.pool.release(std::move(c.state));
+        }
+      }
+      cur = std::move(filtered);
+      if (!settle_response(e, cur.size())) break;
+    }
+    for (Config& c : frontier_) eng_.pool.release(std::move(c.state));
+    frontier_ = std::move(cur);
+  }
+
+  void run_res_parallel(std::span<const Event> run) {
     shards_->closure([this](size_t s, const Config& c, auto& emit) {
       auto cfg = [&c]() -> const Config& { return c; };
       policy_.expand(pool_->engine(s).pool, scratch_[s], open_span(), cfg,
                      emit);
     });
-    shards_->filter(
-        [this, &e](size_t, Config& c) { return policy_.match(c, e); });
-    if (shards_->size() == 0) ok_ = false;
+    for (const Event& e : run) {
+      ++base_stats_.events_fed;
+      shards_->filter(
+          [this, &e](size_t, Config& c) { return policy_.match(c, e); });
+      if (!settle_response(e, shards_->size())) break;
+    }
   }
 
   void release_everything() {
@@ -347,6 +409,9 @@ class FrontierEngine {
 
   Policy policy_;
   size_t max_configs_;
+  // Shared worker lanes for the parallel path; clones inherit it, so every
+  // monitor forked from a service-owned one stays on the service's pool.
+  std::shared_ptr<parallel::Executor> exec_;
   size_t lanes_ = 1;        // shard/lane count of the parallel path
   bool adaptive_ = false;   // per-round engine choice (threads = auto)
   bool parallel_active_ = false;  // which representation holds the frontier

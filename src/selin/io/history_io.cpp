@@ -1,8 +1,10 @@
 #include "selin/io/history_io.hpp"
 
+#include <cctype>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 namespace selin {
@@ -59,67 +61,128 @@ std::optional<Value> parse_value(const std::string& token) {
   }
 }
 
-History parse_history(std::istream& in) {
-  History h;
-  std::string line;
-  size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
-    std::vector<std::string> tok;
-    std::string t;
-    while (ls >> t) tok.push_back(t);
-    if (tok.empty()) continue;
+std::optional<Event> parse_history_line(const std::string& input,
+                                        size_t lineno) {
+  // Tokenize in place (no line copy, no istringstream): this runs once per
+  // line of every streamed file, and tokens are short enough for SSO.
+  std::string_view line(input);
+  size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  std::vector<std::string> tok;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    const size_t start = pos;
+    while (pos < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    if (pos > start) tok.emplace_back(line.substr(start, pos - start));
+  }
+  if (tok.empty()) return std::nullopt;
 
-    if (tok[0] != "inv" && tok[0] != "res") {
-      throw HistoryParseError(lineno, "expected 'inv' or 'res', got '" +
-                                          tok[0] + "'");
+  if (tok[0] != "inv" && tok[0] != "res") {
+    throw HistoryParseError(lineno,
+                            "expected 'inv' or 'res', got '" + tok[0] + "'");
+  }
+  bool is_inv = tok[0] == "inv";
+  if (tok.size() < 4) {
+    throw HistoryParseError(lineno, "too few fields");
+  }
+  OpDesc op;
+  try {
+    op.id.pid = static_cast<ProcId>(std::stoul(tok[1]));
+    op.id.seq = static_cast<uint32_t>(std::stoul(tok[2]));
+  } catch (const std::exception&) {
+    throw HistoryParseError(lineno, "bad pid/seq");
+  }
+  auto m = parse_method(tok[3]);
+  if (!m.has_value()) {
+    throw HistoryParseError(lineno, "unknown method '" + tok[3] + "'");
+  }
+  op.method = *m;
+  size_t next = 4;
+  if (method_takes_arg(*m)) {
+    if (tok.size() <= next) {
+      throw HistoryParseError(lineno, "method requires an argument");
     }
-    bool is_inv = tok[0] == "inv";
-    if (tok.size() < 4) {
-      throw HistoryParseError(lineno, "too few fields");
+    auto arg = parse_value(tok[next++]);
+    if (!arg.has_value()) throw HistoryParseError(lineno, "bad argument");
+    op.arg = *arg;
+  }
+  if (is_inv) {
+    if (tok.size() != next) {
+      throw HistoryParseError(lineno, "trailing tokens on invocation");
     }
-    OpDesc op;
-    try {
-      op.id.pid = static_cast<ProcId>(std::stoul(tok[1]));
-      op.id.seq = static_cast<uint32_t>(std::stoul(tok[2]));
-    } catch (const std::exception&) {
-      throw HistoryParseError(lineno, "bad pid/seq");
-    }
-    auto m = parse_method(tok[3]);
-    if (!m.has_value()) {
-      throw HistoryParseError(lineno, "unknown method '" + tok[3] + "'");
-    }
-    op.method = *m;
-    size_t next = 4;
-    if (method_takes_arg(*m)) {
-      if (tok.size() <= next) {
-        throw HistoryParseError(lineno, "method requires an argument");
+    return Event::inv(op);
+  }
+  if (tok.size() != next + 1) {
+    throw HistoryParseError(lineno, "response requires exactly one result");
+  }
+  auto res = parse_value(tok[next]);
+  if (!res.has_value()) throw HistoryParseError(lineno, "bad result");
+  return Event::res(op, *res);
+}
+
+std::optional<Event> HistoryStreamReader::next() {
+  while (std::getline(*in_, linebuf_)) {
+    ++lineno_;
+    std::optional<Event> e = parse_history_line(linebuf_, lineno_);
+    if (!e.has_value()) continue;
+    // Incremental well-formedness, same rules as well_formed(): violations
+    // surface at the offending line rather than at end-of-stream.
+    const ProcId p = e->op.id.pid;
+    auto it = pending_.find(p);
+    if (e->is_inv()) {
+      if (it != pending_.end()) {
+        throw HistoryParseError(
+            lineno_, "history not well-formed: process p" + std::to_string(p) +
+                         " invokes while an operation is pending");
       }
-      auto arg = parse_value(tok[next++]);
-      if (!arg.has_value()) throw HistoryParseError(lineno, "bad argument");
-      op.arg = *arg;
-    }
-    if (is_inv) {
-      if (tok.size() != next) {
-        throw HistoryParseError(lineno, "trailing tokens on invocation");
+      if (!seen_ops_[p].insert(e->op.id.seq)) {
+        throw HistoryParseError(
+            lineno_,
+            "history not well-formed: duplicate invocation of " +
+                to_string(e->op));
       }
-      h.push_back(Event::inv(op));
+      pending_.emplace(p, e->op);
     } else {
-      if (tok.size() != next + 1) {
-        throw HistoryParseError(lineno, "response requires exactly one result");
+      if (it == pending_.end()) {
+        throw HistoryParseError(
+            lineno_, "history not well-formed: response without pending "
+                     "invocation: " + to_string(*e));
       }
-      auto res = parse_value(tok[next]);
-      if (!res.has_value()) throw HistoryParseError(lineno, "bad result");
-      h.push_back(Event::res(op, *res));
+      if (!(it->second == e->op)) {
+        throw HistoryParseError(
+            lineno_, "history not well-formed: response " + to_string(*e) +
+                         " does not match pending invocation");
+      }
+      pending_.erase(it);
     }
+    ++count_;
+    return e;
   }
-  std::string why;
-  if (!well_formed(h, &why)) {
-    throw HistoryParseError(lineno, "history not well-formed: " + why);
+  return std::nullopt;
+}
+
+size_t HistoryStreamReader::read_batch(std::vector<Event>& out, size_t max) {
+  size_t n = 0;
+  while (n < max) {
+    std::optional<Event> e = next();
+    if (!e.has_value()) break;
+    out.push_back(*e);
+    ++n;
   }
+  return n;
+}
+
+History parse_history(std::istream& in) {
+  HistoryStreamReader reader(in);
+  History h;
+  while (std::optional<Event> e = reader.next()) h.push_back(*e);
   return h;
 }
 

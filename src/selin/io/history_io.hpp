@@ -26,6 +26,9 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "selin/history/history.hpp"
 
@@ -46,6 +49,73 @@ class HistoryParseError : public std::runtime_error {
 /// the returned history is additionally checked for well-formedness.
 History parse_history(std::istream& in);
 History parse_history_string(const std::string& text);
+
+/// Parses one line of the format above.  Returns nullopt for blank and
+/// comment-only lines; throws HistoryParseError (tagged with `lineno`) on a
+/// malformed line.  The building block both parse_history and the streaming
+/// reader share.
+std::optional<Event> parse_history_line(const std::string& line,
+                                        size_t lineno);
+
+/// Incremental, line-at-a-time history reader for streaming consumption —
+/// the io front end of the multi-session service: `selin_check --jobs N`
+/// interleaves reads from many files through one of these per file, feeding
+/// each batch to its session without ever materializing a whole history.
+///
+/// Well-formedness is enforced *incrementally* with the same rules
+/// well_formed() applies to complete histories (no overlapping operations
+/// per process, no duplicate op ids, responses match their pending
+/// invocation), so a violation surfaces at the offending line instead of at
+/// end-of-stream.  The stream must outlive the reader.
+class HistoryStreamReader {
+ public:
+  explicit HistoryStreamReader(std::istream& in) : in_(&in) {}
+
+  /// Next event, or nullopt at end-of-stream.  Throws HistoryParseError on
+  /// a malformed line or a well-formedness violation.
+  std::optional<Event> next();
+
+  /// Append up to `max` events to `out`; returns the number read (0 = end
+  /// of stream).  The batched form sessions feed from.
+  size_t read_batch(std::vector<Event>& out, size_t max);
+
+  /// Lines consumed so far (= the line number of the last event returned).
+  size_t line() const { return lineno_; }
+  /// Events returned so far.
+  size_t events() const { return count_; }
+
+ private:
+  /// Duplicate-op-id tracking in O(out-of-order degree) memory instead of
+  /// O(total ops): seqs [0, contiguous) have all been seen; stragglers
+  /// ahead of the contiguous prefix sit in `sparse` until the prefix
+  /// absorbs them.  Monotone per-process seqs (what every selin producer
+  /// emits) keep this at a single counter per process, so a multi-GB
+  /// stream costs the reader O(processes), not O(events).
+  struct SeenSeqs {
+    uint32_t contiguous = 0;
+    std::unordered_set<uint32_t> sparse;
+
+    /// False iff `s` was already seen.
+    bool insert(uint32_t s) {
+      if (s < contiguous) return false;
+      if (s > contiguous) return sparse.insert(s).second;
+      ++contiguous;
+      for (auto it = sparse.find(contiguous); it != sparse.end();
+           it = sparse.find(contiguous)) {
+        sparse.erase(it);
+        ++contiguous;
+      }
+      return true;
+    }
+  };
+
+  std::istream* in_;
+  size_t lineno_ = 0;
+  size_t count_ = 0;
+  std::string linebuf_;
+  std::unordered_map<ProcId, OpDesc> pending_;   // per-process open op
+  std::unordered_map<ProcId, SeenSeqs> seen_ops_;
+};
 
 /// Serializes a history in the format above (round-trips with parse).
 void write_history(std::ostream& out, const History& h);

@@ -17,12 +17,15 @@ using lincheck::DedupEngine;
 struct LinMonitor::Impl {
   engine::FrontierEngine<engine::LinPolicy> eng;
 
-  Impl(const SeqSpec& s, size_t cap, size_t threads)
-      : eng(engine::LinPolicy{&s}, cap, threads) {}
+  Impl(const SeqSpec& s, size_t cap, size_t threads,
+       std::shared_ptr<parallel::Executor> exec)
+      : eng(engine::LinPolicy{&s}, cap, threads, std::move(exec)) {}
 };
 
-LinMonitor::LinMonitor(const SeqSpec& spec, size_t max_configs, size_t threads)
-    : impl_(std::make_unique<Impl>(spec, max_configs, threads)) {}
+LinMonitor::LinMonitor(const SeqSpec& spec, size_t max_configs, size_t threads,
+                       std::shared_ptr<parallel::Executor> executor)
+    : impl_(std::make_unique<Impl>(spec, max_configs, threads,
+                                   std::move(executor))) {}
 
 LinMonitor::LinMonitor(const LinMonitor& other)
     : impl_(std::make_unique<Impl>(*other.impl_)) {}
@@ -30,6 +33,9 @@ LinMonitor::LinMonitor(const LinMonitor& other)
 LinMonitor::~LinMonitor() = default;
 
 void LinMonitor::feed(const Event& e) { impl_->eng.feed(e); }
+void LinMonitor::feed_batch(std::span<const Event> events) {
+  impl_->eng.feed_batch(events);
+}
 bool LinMonitor::ok() const { return impl_->eng.ok(); }
 bool LinMonitor::overflowed() const { return impl_->eng.overflowed(); }
 size_t LinMonitor::frontier_size() const { return impl_->eng.frontier_size(); }

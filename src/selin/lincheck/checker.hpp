@@ -33,6 +33,10 @@
 #include "selin/history/history.hpp"
 #include "selin/spec/spec.hpp"
 
+namespace selin::parallel {
+class Executor;
+}  // namespace selin::parallel
+
 namespace selin {
 
 /// Thrown when the configuration frontier exceeds the exploration budget;
@@ -56,12 +60,18 @@ class CheckerOverflow : public std::runtime_error {
 /// `threads == 1`, the sequential engine, remains the default.
 class LinMonitor final : public MembershipMonitor {
  public:
+  /// `executor`: shared worker lanes for the parallel rounds (nullptr = a
+  /// private pool created lazily — the single-tenant default).
   explicit LinMonitor(const SeqSpec& spec, size_t max_configs = 1 << 18,
-                      size_t threads = 1);
+                      size_t threads = 1,
+                      std::shared_ptr<parallel::Executor> executor = nullptr);
   LinMonitor(const LinMonitor& other);
   ~LinMonitor() override;
 
   void feed(const Event& e) override;
+  /// Batched feed: closure/dedup amortized over each consecutive run of
+  /// responses; verdict and frontier identical to per-event feeding.
+  void feed_batch(std::span<const Event> events) override;
   bool ok() const override;
   std::unique_ptr<MembershipMonitor> clone() const override;
 

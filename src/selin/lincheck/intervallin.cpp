@@ -15,13 +15,16 @@ namespace selin {
 struct IntervalLinMonitor::Impl {
   engine::FrontierEngine<engine::IntervalPolicy> eng;
 
-  Impl(const IntervalSeqSpec& s, size_t cap, size_t threads)
-      : eng(engine::IntervalPolicy{&s}, cap, threads) {}
+  Impl(const IntervalSeqSpec& s, size_t cap, size_t threads,
+       std::shared_ptr<parallel::Executor> exec)
+      : eng(engine::IntervalPolicy{&s}, cap, threads, std::move(exec)) {}
 };
 
-IntervalLinMonitor::IntervalLinMonitor(const IntervalSeqSpec& spec,
-                                       size_t max_configs, size_t threads)
-    : impl_(std::make_unique<Impl>(spec, max_configs, threads)) {}
+IntervalLinMonitor::IntervalLinMonitor(
+    const IntervalSeqSpec& spec, size_t max_configs, size_t threads,
+    std::shared_ptr<parallel::Executor> executor)
+    : impl_(std::make_unique<Impl>(spec, max_configs, threads,
+                                   std::move(executor))) {}
 
 IntervalLinMonitor::IntervalLinMonitor(const IntervalLinMonitor& other)
     : impl_(std::make_unique<Impl>(*other.impl_)) {}
@@ -29,6 +32,9 @@ IntervalLinMonitor::IntervalLinMonitor(const IntervalLinMonitor& other)
 IntervalLinMonitor::~IntervalLinMonitor() = default;
 
 void IntervalLinMonitor::feed(const Event& e) { impl_->eng.feed(e); }
+void IntervalLinMonitor::feed_batch(std::span<const Event> events) {
+  impl_->eng.feed_batch(events);
+}
 bool IntervalLinMonitor::ok() const { return impl_->eng.ok(); }
 bool IntervalLinMonitor::overflowed() const {
   return impl_->eng.overflowed();
@@ -59,21 +65,23 @@ namespace {
 class IntervalLinObject final : public GenLinObject {
  public:
   IntervalLinObject(std::unique_ptr<IntervalSeqSpec> spec, size_t max_configs,
-                    size_t threads)
-      : spec_(std::move(spec)), max_configs_(max_configs), threads_(threads) {}
+                    size_t threads, std::shared_ptr<parallel::Executor> exec)
+      : spec_(std::move(spec)), max_configs_(max_configs), threads_(threads),
+        exec_(std::move(exec)) {}
   const char* name() const override { return spec_->name(); }
   std::unique_ptr<MembershipMonitor> monitor() const override {
     return monitor(threads_);
   }
   std::unique_ptr<MembershipMonitor> monitor(size_t threads) const override {
-    return std::make_unique<IntervalLinMonitor>(*spec_, max_configs_,
-                                                threads == 0 ? threads_ : threads);
+    return std::make_unique<IntervalLinMonitor>(
+        *spec_, max_configs_, threads == 0 ? threads_ : threads, exec_);
   }
 
  private:
   std::unique_ptr<IntervalSeqSpec> spec_;
   size_t max_configs_;
   size_t threads_;
+  std::shared_ptr<parallel::Executor> exec_;
 };
 
 // ---- Write-snapshot as an interval-sequential machine ----------------------
@@ -137,10 +145,10 @@ class WsIntervalSpec final : public IntervalSeqSpec {
 }  // namespace
 
 std::unique_ptr<GenLinObject> make_interval_linearizable_object(
-    std::unique_ptr<IntervalSeqSpec> spec, size_t max_configs,
-    size_t threads) {
+    std::unique_ptr<IntervalSeqSpec> spec, size_t max_configs, size_t threads,
+    std::shared_ptr<parallel::Executor> executor) {
   return std::make_unique<IntervalLinObject>(std::move(spec), max_configs,
-                                             threads);
+                                             threads, std::move(executor));
 }
 
 std::unique_ptr<IntervalSeqSpec> make_write_snapshot_interval_spec() {

@@ -32,6 +32,10 @@
 #include "selin/history/history.hpp"
 #include "selin/spec/spec.hpp"
 
+namespace selin::parallel {
+class Executor;
+}  // namespace selin::parallel
+
 namespace selin {
 
 /// Deterministic-response interval-sequential specification.
@@ -58,13 +62,19 @@ class IntervalSeqSpec {
 /// sequential engine at `threads == 1` is the default.
 class IntervalLinMonitor final : public MembershipMonitor {
  public:
-  explicit IntervalLinMonitor(const IntervalSeqSpec& spec,
-                              size_t max_configs = 1 << 18,
-                              size_t threads = 1);
+  /// `executor`: shared worker lanes for the parallel rounds (nullptr = a
+  /// private pool created lazily — the single-tenant default).
+  explicit IntervalLinMonitor(
+      const IntervalSeqSpec& spec, size_t max_configs = 1 << 18,
+      size_t threads = 1,
+      std::shared_ptr<parallel::Executor> executor = nullptr);
   IntervalLinMonitor(const IntervalLinMonitor& other);
   ~IntervalLinMonitor() override;
 
   void feed(const Event& e) override;
+  /// Batched feed: closure/dedup amortized over each consecutive run of
+  /// responses; verdict and frontier identical to per-event feeding.
+  void feed_batch(std::span<const Event> events) override;
   bool ok() const override;
   std::unique_ptr<MembershipMonitor> clone() const override;
 
@@ -86,10 +96,11 @@ class IntervalLinMonitor final : public MembershipMonitor {
 bool interval_linearizable(const IntervalSeqSpec& spec, const History& h,
                            size_t max_configs = 1 << 18, size_t threads = 1);
 
-/// GenLin adapter (owns the spec).
+/// GenLin adapter (owns the spec).  `executor` is the shared lane provider
+/// for every monitor the object hands out (nullptr = private pools).
 std::unique_ptr<GenLinObject> make_interval_linearizable_object(
     std::unique_ptr<IntervalSeqSpec> spec, size_t max_configs = 1 << 18,
-    size_t threads = 1);
+    size_t threads = 1, std::shared_ptr<parallel::Executor> executor = nullptr);
 
 /// The write-snapshot task as an interval-sequential specification (outputs
 /// are bitmask views; n ≤ 64) — cross-validated in tests against the direct

@@ -12,13 +12,16 @@ namespace selin {
 struct SetLinMonitor::Impl {
   engine::FrontierEngine<engine::SetLinPolicy> eng;
 
-  Impl(const SetSeqSpec& s, size_t cap, size_t threads)
-      : eng(engine::SetLinPolicy{&s}, cap, threads) {}
+  Impl(const SetSeqSpec& s, size_t cap, size_t threads,
+       std::shared_ptr<parallel::Executor> exec)
+      : eng(engine::SetLinPolicy{&s}, cap, threads, std::move(exec)) {}
 };
 
 SetLinMonitor::SetLinMonitor(const SetSeqSpec& spec, size_t max_configs,
-                             size_t threads)
-    : impl_(std::make_unique<Impl>(spec, max_configs, threads)) {}
+                             size_t threads,
+                             std::shared_ptr<parallel::Executor> executor)
+    : impl_(std::make_unique<Impl>(spec, max_configs, threads,
+                                   std::move(executor))) {}
 
 SetLinMonitor::SetLinMonitor(const SetLinMonitor& other)
     : impl_(std::make_unique<Impl>(*other.impl_)) {}
@@ -26,6 +29,9 @@ SetLinMonitor::SetLinMonitor(const SetLinMonitor& other)
 SetLinMonitor::~SetLinMonitor() = default;
 
 void SetLinMonitor::feed(const Event& e) { impl_->eng.feed(e); }
+void SetLinMonitor::feed_batch(std::span<const Event> events) {
+  impl_->eng.feed_batch(events);
+}
 bool SetLinMonitor::ok() const { return impl_->eng.ok(); }
 bool SetLinMonitor::overflowed() const { return impl_->eng.overflowed(); }
 size_t SetLinMonitor::frontier_size() const {

@@ -13,6 +13,10 @@
 #include "selin/history/history.hpp"
 #include "selin/spec/spec.hpp"
 
+namespace selin::parallel {
+class Executor;
+}  // namespace selin::parallel
+
 namespace selin {
 
 /// A facade over engine::FrontierEngine with the set-linearizability policy.
@@ -22,12 +26,18 @@ namespace selin {
 /// sequential engine at `threads == 1` is the default.
 class SetLinMonitor final : public MembershipMonitor {
  public:
-  explicit SetLinMonitor(const SetSeqSpec& spec, size_t max_configs = 1 << 18,
-                         size_t threads = 1);
+  /// `executor`: shared worker lanes for the parallel rounds (nullptr = a
+  /// private pool created lazily — the single-tenant default).
+  explicit SetLinMonitor(
+      const SetSeqSpec& spec, size_t max_configs = 1 << 18, size_t threads = 1,
+      std::shared_ptr<parallel::Executor> executor = nullptr);
   SetLinMonitor(const SetLinMonitor& other);
   ~SetLinMonitor() override;
 
   void feed(const Event& e) override;
+  /// Batched feed: closure/dedup amortized over each consecutive run of
+  /// responses; verdict and frontier identical to per-event feeding.
+  void feed_batch(std::span<const Event> events) override;
   bool ok() const override;
   std::unique_ptr<MembershipMonitor> clone() const override;
 

@@ -1,0 +1,166 @@
+#include "selin/parallel/executor.hpp"
+
+#include <algorithm>
+
+namespace selin::parallel {
+
+namespace {
+// Spin iterations before an idle worker parks on the condition variable.
+// Phases arrive in bursts while a monitor feeds, so the next one usually
+// lands within the spin window; yielding keeps oversubscribed hosts live.
+constexpr int kSpinIters = 256;
+
+size_t resolve_lanes(size_t requested) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+}  // namespace
+
+Executor::Executor(size_t lanes) : n_(resolve_lanes(lanes)) {}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // Tasks still queued were posted by clients that never drained; run them
+  // here so owner-referencing work is never silently dropped (TaskLanes
+  // drains in its own destructor, so this is normally empty).
+  while (run_some()) {
+  }
+}
+
+void Executor::ensure_workers_locked() {
+  if (!workers_.empty() || n_ == 0) return;
+  workers_.reserve(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  spawned_.store(workers_.size(), std::memory_order_release);
+}
+
+void Executor::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ensure_workers_locked();
+    tasks_.push_back(std::move(task));
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_one();
+}
+
+void Executor::run_slice(Phase& ph, size_t slice) {
+  try {
+    (*ph.job)(slice);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(ph.err_mu);
+    if (ph.error == nullptr) ph.error = std::current_exception();
+  }
+  ph.done.fetch_add(1, std::memory_order_release);
+}
+
+void Executor::run_phase(size_t n, const std::function<void(size_t)>& job) {
+  if (n == 0) return;
+  if (n == 1) {
+    job(0);
+    return;
+  }
+  Phase ph;
+  ph.job = &job;
+  ph.n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ensure_workers_locked();
+    phases_.push_back(&ph);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+  run_slice(ph, 0);
+  // Claim whatever the worker lanes have not picked up: work-conserving on
+  // an idle executor, inline-degrading (and so deadlock-free when nested)
+  // on a saturated one.
+  for (;;) {
+    size_t i = ph.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    run_slice(ph, i);
+  }
+  while (ph.done.load(std::memory_order_acquire) < n) {
+    std::this_thread::yield();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find(phases_.begin(), phases_.end(), &ph);
+    if (it != phases_.end()) phases_.erase(it);
+  }
+  if (ph.error != nullptr) std::rethrow_exception(ph.error);
+}
+
+bool Executor::run_some() {
+  Phase* ph = nullptr;
+  size_t slice = 0;
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!phases_.empty()) {
+      Phase* p = phases_.front();
+      size_t i = p->next.fetch_add(1, std::memory_order_relaxed);
+      if (i < p->n) {
+        ph = p;
+        slice = i;
+        break;
+      }
+      // Exhausted: stragglers are mid-slice, the owner is spinning on
+      // done — nothing left to claim here.
+      phases_.pop_front();
+    }
+    if (ph == nullptr) {
+      if (tasks_.empty()) return false;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+  }
+  if (ph != nullptr) {
+    run_slice(*ph, slice);
+  } else {
+    task();
+  }
+  return true;
+}
+
+bool Executor::help_one() { return run_some(); }
+
+void Executor::worker_loop() {
+  uint64_t seen = 0;
+  for (;;) {
+    if (run_some()) continue;  // drained one item; look again immediately
+    uint64_t e = epoch_.load(std::memory_order_acquire);
+    for (int k = 0; k < kSpinIters && e == seen; ++k) {
+      std::this_thread::yield();
+      e = epoch_.load(std::memory_order_acquire);
+    }
+    if (e == seen) {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) ||
+               epoch_.load(std::memory_order_relaxed) != seen;
+      });
+      e = epoch_.load(std::memory_order_relaxed);
+      if (stop_.load(std::memory_order_relaxed) && phases_.empty() &&
+          tasks_.empty()) {
+        return;
+      }
+    } else if (stop_.load(std::memory_order_acquire)) {
+      // Missed the epoch bump of a racing shutdown: re-check for work and
+      // exit once drained.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (phases_.empty() && tasks_.empty()) return;
+    }
+    seen = e;
+  }
+}
+
+}  // namespace selin::parallel

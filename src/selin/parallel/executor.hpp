@@ -1,0 +1,126 @@
+// Shared execution resource of every parallel facility in selin.
+//
+// Before the executor, thread ownership was scattered: every ShardPool
+// spawned its own worker lanes for SPMD frontier phases, every TaskLanes its
+// own FIFO drainers for deferred checkpoint work, and each copy carried its
+// own slightly different shutdown discipline.  One monitored object cost a
+// handful of private threads — fine for one monitor, fatal for a service
+// multiplexing thousands of independent sessions (thousands of mostly idle
+// lanes oversubscribe the host long before the checkers saturate it).
+//
+// Executor is the one owner of worker threads.  Clients *lease* lanes
+// per work item instead of holding them:
+//
+//   * run_phase(n, job) — SPMD dispatch: job(i) for i in [0, n).  Slice 0
+//     runs on the calling thread; slices 1..n-1 are published for the worker
+//     lanes to claim.  The caller claims unstarted slices itself once its
+//     own slice is done, so a saturated executor degrades to inline
+//     execution instead of blocking — which also makes nested phases (a
+//     posted task running its own run_phase) deadlock-free by construction.
+//     Returns when every slice has finished; rethrows the first job
+//     exception.  This is ShardPool's dispatch primitive.
+//
+//   * post(task) — fire-and-forget FIFO work (TaskLanes' primitive).  The
+//     task must not throw; clients that need exception capture wrap the
+//     task (TaskLanes does).
+//
+//   * help_one() — run one pending slice or task on the calling thread, if
+//     any.  Waiters (TaskLanes::wait_idle, drain loops) call this instead
+//     of blocking so a busy shared executor cannot stall them behind other
+//     clients' work.
+//
+// Worker lanes are spawned lazily on the first work item and parked on a
+// spin-then-condition-variable pickup (the same dormancy discipline the old
+// ShardPool and TaskLanes each implemented privately): an executor that
+// never receives work costs nothing but this object, and an idle one
+// consumes no CPU.  Destruction drains remaining queued work, then joins —
+// the single shutdown path that used to be duplicated per pool class.
+//
+// Sharing: one Executor can serve any number of ShardPools, TaskLanes, and
+// MonitorService sessions concurrently; total threads stay bounded by
+// lanes() no matter how many clients multiplex over it.  Work items of
+// different clients never synchronize through the executor beyond FIFO
+// pickup, so clients keep their own completion accounting (phase counters
+// here, in_flight counters in TaskLanes).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace selin::parallel {
+
+class Executor {
+ public:
+  /// `lanes` = worker-thread cap; 0 resolves from the hardware.
+  explicit Executor(size_t lanes = 0);
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+  ~Executor();
+
+  /// Worker-thread cap (the bound a multi-tenant deployment sizes to the
+  /// host; MonitorService asserts spawned threads never exceed it).
+  size_t lanes() const { return n_; }
+
+  /// Worker threads actually created so far (0 until the first work item;
+  /// never exceeds lanes()).
+  size_t threads_spawned() const {
+    return spawned_.load(std::memory_order_acquire);
+  }
+
+  /// Enqueue a fire-and-forget task.  The task must not throw.
+  void post(std::function<void()> task);
+
+  /// SPMD phase: run job(i) for every i in [0, n); see the header comment
+  /// for the slice-claiming protocol.  Rethrows the first job exception
+  /// after every slice has finished.
+  void run_phase(size_t n, const std::function<void(size_t)>& job);
+
+  /// Run one pending slice or task inline; false when nothing is pending.
+  bool help_one();
+
+ private:
+  /// One in-flight run_phase, stack-allocated by its caller; lives in
+  /// phases_ only while it still has unclaimed slices.
+  struct Phase {
+    const std::function<void(size_t)>* job = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{1};  // slice 0 is the caller's
+    std::atomic<size_t> done{0};  // completed slices (including 0)
+    std::mutex err_mu;
+    std::exception_ptr error;     // first job exception
+  };
+
+  void run_slice(Phase& ph, size_t slice);
+  void ensure_workers_locked();
+  void worker_loop();
+  /// Claim and run one slice or task; false when nothing was pending.
+  bool run_some();
+
+  size_t n_;
+  std::atomic<size_t> spawned_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Phase*> phases_;                 // with unclaimed slices
+  std::deque<std::function<void()>> tasks_;   // fire-and-forget FIFO
+  std::atomic<uint64_t> epoch_{0};            // bumped per work arrival
+  std::atomic<bool> stop_{false};             // written under mu_
+  std::vector<std::thread> workers_;          // spawned lazily
+};
+
+}  // namespace selin::parallel
+
+namespace selin::engine {
+// The executor conceptually belongs to the engine layer (FrontierEngine and
+// the monitor factories take it); spell it either way.
+using Executor = ::selin::parallel::Executor;
+}  // namespace selin::engine

@@ -2,37 +2,11 @@
 
 namespace selin::parallel {
 
-namespace {
-// Spin iterations before a worker parks on the condition variable.  Feeds
-// dispatch several phases back to back, so the next epoch usually arrives
-// within the spin window; yielding inside the loop keeps oversubscribed
-// hosts (shards > cores) live.
-constexpr int kSpinIters = 256;
-}  // namespace
-
-ShardPool::ShardPool(size_t threads) : n_(threads == 0 ? 1 : threads) {
+ShardPool::ShardPool(size_t threads, std::shared_ptr<Executor> executor)
+    : n_(threads == 0 ? 1 : threads), exec_(std::move(executor)) {
   engines_.reserve(n_);
   for (size_t i = 0; i < n_; ++i) {
     engines_.push_back(std::make_unique<lincheck::DedupEngine>());
-  }
-  errors_.resize(n_);
-}
-
-ShardPool::~ShardPool() {
-  if (!workers_.empty()) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_.store(true, std::memory_order_release);
-    }
-    cv_.notify_all();
-    for (std::thread& t : workers_) t.join();
-  }
-}
-
-void ShardPool::spawn() {
-  workers_.reserve(n_ - 1);
-  for (size_t i = 1; i < n_; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -41,65 +15,16 @@ void ShardPool::run(const std::function<void(size_t)>& job) {
     job(0);
     return;
   }
-  if (workers_.empty()) spawn();
-  for (std::exception_ptr& e : errors_) e = nullptr;
-  job_ = &job;
-  done_.store(0, std::memory_order_relaxed);
-  {
-    // The lock pairs with the workers' cv wait; the release increment pairs
-    // with their acquire spin.  Either way the job_ write above is visible
-    // before a worker runs the job.
-    std::lock_guard<std::mutex> lock(mu_);
-    epoch_.fetch_add(1, std::memory_order_release);
+  if (exec_ == nullptr) {
+    // Private pool, sized so lane 0 (the caller) plus the workers match the
+    // requested lane count — the pre-executor thread budget.
+    exec_ = std::make_shared<Executor>(n_ - 1);
   }
-  cv_.notify_all();
-  try {
-    job(0);
-  } catch (...) {
-    errors_[0] = std::current_exception();
-  }
-  // Jobs never block on each other (rounds synchronize only at run()
-  // boundaries), so every worker finishes; yield rather than hard-spin so
-  // oversubscribed hosts make progress.
-  while (done_.load(std::memory_order_acquire) != n_ - 1) {
-    std::this_thread::yield();
-  }
-  job_ = nullptr;
-  for (std::exception_ptr& e : errors_) {
-    if (e != nullptr) std::rethrow_exception(e);
-  }
+  exec_->run_phase(n_, job);
 }
 
 void ShardPool::run_serial(const std::function<void(size_t)>& job) {
   for (size_t i = 0; i < n_; ++i) job(i);
-}
-
-void ShardPool::worker_loop(size_t index) {
-  uint64_t seen = 0;
-  for (;;) {
-    uint64_t e = epoch_.load(std::memory_order_acquire);
-    for (int k = 0; k < kSpinIters && e == seen; ++k) {
-      if (stop_.load(std::memory_order_acquire)) return;
-      std::this_thread::yield();
-      e = epoch_.load(std::memory_order_acquire);
-    }
-    if (e == seen) {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] {
-        return stop_.load(std::memory_order_relaxed) ||
-               epoch_.load(std::memory_order_relaxed) != seen;
-      });
-      e = epoch_.load(std::memory_order_relaxed);
-      if (e == seen) return;  // stopped with no new job
-    }
-    seen = e;
-    try {
-      (*job_)(index);
-    } catch (...) {
-      errors_[index] = std::current_exception();
-    }
-    done_.fetch_add(1, std::memory_order_release);
-  }
 }
 
 }  // namespace selin::parallel

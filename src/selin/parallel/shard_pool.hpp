@@ -1,50 +1,50 @@
-// Persistent worker pool for sharded frontier expansion.
+// Per-checker lane state for sharded frontier expansion.
 //
-// A ShardPool owns `threads` lanes: lane 0 is the calling thread, lanes
-// 1..threads-1 are persistent worker threads, spawned lazily on the first
-// parallel dispatch (monitors are cloned eagerly — e.g. the leveled
+// A ShardPool presents `threads` lanes to the frontier engine: lane 0 is the
+// calling thread, the rest are leased per phase from a parallel::Executor
+// (executor.hpp) — either one shared across many checkers (the multi-tenant
+// deployment, where N sessions multiplex over one pool sized to the
+// hardware) or a private one created lazily on the first parallel dispatch
+// (the historical behavior: monitors are cloned eagerly — e.g. the leveled
 // checker's checkpoints — and most clones never feed a wide frontier, so a
-// dormant pool must cost nothing but its engines).  Each lane owns a private
-// lincheck::DedupEngine (Arena + FpSet dedup tables + StatePool), so every
-// mutation of dedup state during a phase is single-writer by construction.
+// dormant pool must cost nothing but its engines).  The pool no longer owns
+// any thread; spawn/park/join discipline lives in the executor once.
 //
-// Dispatch is epoch-based: run(job) publishes the job, bumps the epoch, and
-// executes lane 0 inline while the workers pick the epoch up from a brief
-// spin (epochs arrive in bursts while a monitor feeds) that falls back to a
-// condition variable so an idle pool consumes no CPU.  Jobs must not block
-// on one another — the phase protocol in ShardedFrontier synchronizes
-// exclusively at run() boundaries, which act as the inter-round barriers —
-// so completion is a simple counter the controller waits on.  A job
-// exception is captured in the throwing lane and rethrown on the caller
-// after every lane has finished, leaving the pool reusable.
+// Each lane owns a private lincheck::DedupEngine (Arena + FpSet dedup tables
+// + StatePool), so every mutation of dedup state during a phase is
+// single-writer by construction: jobs are functions of the lane *index*, and
+// an index is claimed by exactly one executor thread per phase, no matter
+// which thread that is.
+//
+// run(job) executes job(lane) once per lane and returns when all lanes are
+// done, rethrowing the first captured job exception.  Jobs must not block on
+// one another — the phase protocol in ShardedFrontier synchronizes
+// exclusively at run() boundaries, which act as the inter-round barriers.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <cstdint>
-#include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "selin/lincheck/config.hpp"
+#include "selin/parallel/executor.hpp"
 
 namespace selin::parallel {
 
 class ShardPool {
  public:
-  explicit ShardPool(size_t threads);
+  /// `executor` = the shared lane provider; nullptr = create a private one
+  /// lazily on the first parallel run (preserves the single-tenant shape).
+  explicit ShardPool(size_t threads,
+                     std::shared_ptr<Executor> executor = nullptr);
   ShardPool(const ShardPool&) = delete;
   ShardPool& operator=(const ShardPool&) = delete;
-  ~ShardPool();
 
   size_t threads() const { return n_; }
 
-  /// Lane-private dedup machinery; only lane `worker` may touch it while a
-  /// job is in flight.
+  /// Lane-private dedup machinery; only the phase job running as lane
+  /// `worker` may touch it while a run is in flight.
   lincheck::DedupEngine& engine(size_t worker) { return *engines_[worker]; }
   const lincheck::DedupEngine& engine(size_t worker) const {
     return *engines_[worker];
@@ -60,20 +60,9 @@ class ShardPool {
   void run_serial(const std::function<void(size_t)>& job);
 
  private:
-  void spawn();
-  void worker_loop(size_t index);
-
   size_t n_;
   std::vector<std::unique_ptr<lincheck::DedupEngine>> engines_;
-  std::vector<std::exception_ptr> errors_;  // one slot per lane
-
-  const std::function<void(size_t)>* job_ = nullptr;
-  std::atomic<uint64_t> epoch_{0};
-  std::atomic<size_t> done_{0};
-  std::atomic<bool> stop_{false};
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::thread> workers_;  // lanes 1..n_-1, spawned lazily
+  std::shared_ptr<Executor> exec_;  // lazily created when constructed null
 };
 
 }  // namespace selin::parallel

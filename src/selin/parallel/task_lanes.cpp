@@ -2,19 +2,16 @@
 
 namespace selin::parallel {
 
-TaskLanes::TaskLanes(size_t lanes) : n_(lanes) {}
+TaskLanes::TaskLanes(size_t lanes, std::shared_ptr<Executor> executor)
+    : n_(lanes), exec_(std::move(executor)) {}
 
 TaskLanes::~TaskLanes() {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    // Drain rather than abandon: posted tasks may hold references into the
-    // owner's members, which outlive this destructor (members are destroyed
-    // in reverse declaration order and owners declare their lanes last).
-    cv_idle_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
-    stop_ = true;
-  }
-  cv_work_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  // Drain rather than abandon: posted tasks may hold references into the
+  // owner's members, which outlive this destructor (members are destroyed
+  // in reverse declaration order and owners declare their lanes last).
+  // A private executor then joins its workers when exec_ drops the last
+  // reference; a shared one lives on with the other clients.
+  drain();
 }
 
 void TaskLanes::post(std::function<void()> task) {
@@ -23,63 +20,55 @@ void TaskLanes::post(std::function<void()> task) {
     try {
       task();
     } catch (...) {
-      // Defer to wait_idle(), matching the threaded lanes' discipline.
+      // Defer to wait_idle(), matching the executor-backed discipline.
       if (error_ == nullptr) error_ = std::current_exception();
     }
     return;
   }
+  if (exec_ == nullptr) exec_ = std::make_shared<Executor>(n_);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
-    if (workers_.empty()) {
-      workers_.reserve(n_);
-      for (size_t i = 0; i < n_; ++i) {
-        workers_.emplace_back([this] { worker_loop(); });
-      }
-    }
-  }
-  cv_work_.notify_one();
-}
-
-void TaskLanes::wait_idle() {
-  if (n_ == 0) {
-    if (error_ != nullptr) {
-      std::exception_ptr e = error_;
-      error_ = nullptr;
-      std::rethrow_exception(e);
-    }
-    return;
-  }
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
-  if (error_ != nullptr) {
-    std::exception_ptr e = error_;
-    error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(e);
-  }
-}
-
-void TaskLanes::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  for (;;) {
-    cv_work_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-    if (stop_ && queue_.empty()) return;
-    std::function<void()> task = std::move(queue_.front());
-    queue_.pop_front();
     ++in_flight_;
-    lock.unlock();
+  }
+  exec_->post([this, t = std::move(task)]() mutable {
     std::exception_ptr err;
     try {
-      task();
+      t();
     } catch (...) {
       err = std::current_exception();
     }
-    lock.lock();
+    std::lock_guard<std::mutex> lock(mu_);
     --in_flight_;
     ++executed_;
     if (err != nullptr && error_ == nullptr) error_ = err;
-    if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    if (in_flight_ == 0) cv_idle_.notify_all();
+  });
+}
+
+void TaskLanes::drain() {
+  if (n_ == 0 || exec_ == nullptr) return;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (in_flight_ == 0) return;
+    }
+    if (!exec_->help_one()) {
+      // Queue empty: our remaining tasks are mid-flight on worker lanes
+      // (only this owner posts to this tracker, so no new ones can appear
+      // behind our back) — park until the last completion notifies.
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_idle_.wait(lock, [&] { return in_flight_ == 0; });
+      return;
+    }
+  }
+}
+
+void TaskLanes::wait_idle() {
+  drain();
+  if (error_ != nullptr) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
   }
 }
 

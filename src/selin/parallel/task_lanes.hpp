@@ -1,77 +1,82 @@
-// Fire-and-forget task lanes for deferred work off the checker hot path.
+// Fire-and-forget task tracking for deferred work off the checker hot path.
 //
-// ShardPool's epoch dispatch is SPMD — run(job) executes one job on every
-// lane and blocks the controller until the phase completes, which is exactly
-// right for the frontier engine's barrier protocol and exactly wrong for
-// work the controller wants to *shed*: checkpoint materialization in the
-// leveled checker must not stall the feed that triggered it.  TaskLanes is
-// the complementary primitive: a FIFO of independent tasks drained by
-// persistent worker lanes, with one synchronization point (wait_idle) the
-// owner calls before it reads anything the tasks write.
+// The executor's run_phase is SPMD — it blocks the controller until the
+// phase completes, which is exactly right for the frontier engine's barrier
+// protocol and exactly wrong for work the controller wants to *shed*:
+// checkpoint materialization in the leveled checker must not stall the feed
+// that triggered it.  TaskLanes is the complementary client: a stream of
+// independent tasks posted to a parallel::Executor (shared, or a private
+// one created lazily), with one synchronization point (wait_idle) the owner
+// calls before it reads anything the tasks write.  Threads belong to the
+// executor; TaskLanes only keeps the completion accounting for *its own*
+// tasks, so many owners can shed work onto one shared executor without
+// waiting on each other's completions.
 //
 // Ordering and memory model:
 //   * Tasks may run on any lane in any relative order; tasks that are not
 //     independent must carry their own dependencies (the leveled checker
 //     posts only independent stripe jobs).
-//   * post() publishes everything written before it to the task (queue
-//     mutex); wait_idle() returning publishes everything tasks wrote to the
-//     caller (same mutex + completion count).  Owners therefore need no
-//     additional synchronization for slot-disjoint writes.
-//   * Workers spawn lazily on the first post, so a TaskLanes that never
-//     receives work costs nothing but its vector — the same dormancy
-//     discipline as ShardPool (leveled checkers are cloned eagerly and most
-//     never roll back).
+//   * post() publishes everything written before it to the task (executor
+//     queue mutex); wait_idle() returning publishes everything tasks wrote
+//     to the caller (the tracking mutex + completion count).  Owners
+//     therefore need no additional synchronization for slot-disjoint
+//     writes.
+//   * While waiting, wait_idle helps the executor drain pending work
+//     instead of parking, so a shared executor saturated by other clients
+//     cannot stall this owner behind work it does not depend on.
 //
 // Exceptions: a throwing task poisons the lanes — the first exception is
 // captured and rethrown from the next wait_idle() (or swallowed by the
-// destructor after draining), mirroring ShardPool's rethrow-at-the-barrier
+// destructor after draining), mirroring run_phase's rethrow-at-the-barrier
 // discipline.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <thread>
-#include <vector>
+
+#include "selin/parallel/executor.hpp"
 
 namespace selin::parallel {
 
 class TaskLanes {
  public:
-  explicit TaskLanes(size_t lanes);
+  /// With 0 lanes tasks run inline at post() (degenerate mode for
+  /// single-threaded deployments and tests).  Otherwise tasks go to
+  /// `executor`, or to a private Executor(`lanes`) created lazily on the
+  /// first post — the pre-executor thread budget.
+  explicit TaskLanes(size_t lanes,
+                     std::shared_ptr<Executor> executor = nullptr);
   TaskLanes(const TaskLanes&) = delete;
   TaskLanes& operator=(const TaskLanes&) = delete;
   ~TaskLanes();
 
   size_t lanes() const { return n_; }
 
-  /// Enqueue `task`; returns immediately.  With 0 lanes the task runs
-  /// inline (degenerate mode for single-threaded deployments and tests).
+  /// Enqueue `task`; returns immediately (inline with 0 lanes).
   void post(std::function<void()> task);
 
-  /// Block until every posted task has finished; rethrows the first task
-  /// exception captured since the last wait_idle().
+  /// Block until every task posted *here* has finished (helping the
+  /// executor along meanwhile); rethrows the first task exception captured
+  /// since the last wait_idle().
   void wait_idle();
 
   /// Tasks executed so far (diagnostics; stable only after wait_idle()).
   uint64_t executed() const { return executed_; }
 
  private:
-  void worker_loop();
+  void drain();  // wait for in-flight tasks, helping; never throws
 
   size_t n_;
+  std::shared_ptr<Executor> exec_;  // lazily created when constructed null
   std::mutex mu_;
-  std::condition_variable cv_work_;   // workers wait for tasks
-  std::condition_variable cv_idle_;   // wait_idle waits for completion
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // dequeued but not yet finished
+  std::condition_variable cv_idle_;  // wait_idle waits for completion
+  size_t in_flight_ = 0;             // posted but not yet finished
   uint64_t executed_ = 0;
-  bool stop_ = false;
   std::exception_ptr error_;
-  std::vector<std::thread> workers_;  // spawned lazily on first post
 };
 
 }  // namespace selin::parallel

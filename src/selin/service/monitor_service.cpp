@@ -1,0 +1,107 @@
+#include "selin/service/monitor_service.hpp"
+
+#include <algorithm>
+
+namespace selin::service {
+
+Session::Session(std::string name, std::unique_ptr<SeqSpec> spec,
+                 const SessionOptions& opts,
+                 std::shared_ptr<parallel::Executor> exec)
+    : name_(std::move(name)), spec_(std::move(spec)),
+      monitor_(*spec_, opts.max_configs, opts.threads, std::move(exec)) {}
+
+Session::Status Session::status() const {
+  if (monitor_.overflowed()) return Status::kOverflowed;
+  if (!monitor_.ok()) return Status::kRejected;
+  return Status::kOk;
+}
+
+void Session::run_one_batch(size_t limit) {
+  const size_t n = std::min(limit, buffer_.size() - head_);
+  if (n == 0) return;
+  const std::span<const Event> batch(buffer_.data() + head_, n);
+  const size_t batch_start = fed_;
+  try {
+    monitor_.feed_batch(batch);
+  } catch (const CheckerOverflow&) {
+    // Sticky overflowed() on the monitor; the session reports it as a
+    // status instead of letting the exception cross the executor phase.
+  }
+  head_ += n;
+  fed_ += n;
+  if (!monitor_.ok() || monitor_.overflowed()) {
+    if (!settled_) {
+      settled_ = true;
+      // The verdict flipped somewhere inside this batch.  Events past the
+      // flip (or past an overflow) were never processed — report the
+      // engine's accepted count, not the batch's arrival count.
+      first_bad_ = batch_start;
+      fed_ = monitor_.stats().events_fed;
+    }
+    // Further input cannot change a sticky verdict; drop it.
+    buffer_.clear();
+    head_ = 0;
+  } else if (head_ == buffer_.size()) {
+    buffer_.clear();
+    head_ = 0;
+  }
+}
+
+MonitorService::MonitorService(const ServiceOptions& opts)
+    : exec_(opts.executor != nullptr
+                ? opts.executor
+                : std::make_shared<parallel::Executor>(opts.lanes)),
+      batch_limit_(opts.batch_limit == 0 ? 1 : opts.batch_limit) {}
+
+SessionId MonitorService::open(std::string name,
+                               std::unique_ptr<SeqSpec> spec,
+                               const SessionOptions& opts) {
+  sessions_.push_back(std::unique_ptr<Session>(
+      new Session(std::move(name), std::move(spec), opts, exec_)));
+  return sessions_.size() - 1;
+}
+
+void MonitorService::feed(SessionId id, const Event& e) {
+  Session& s = *sessions_[id];
+  if (s.settled_) return;  // sticky verdict; don't buffer dead weight
+  s.buffer_.push_back(e);
+}
+
+void MonitorService::feed(SessionId id, std::span<const Event> events) {
+  Session& s = *sessions_[id];
+  if (s.settled_) return;
+  s.buffer_.insert(s.buffer_.end(), events.begin(), events.end());
+}
+
+size_t MonitorService::drain_round() {
+  std::vector<Session*> ready;
+  ready.reserve(sessions_.size());
+  const size_t n = sessions_.size();
+  for (size_t k = 0; k < n; ++k) {
+    Session& s = *sessions_[(rr_ + k) % n];
+    if (s.pending() > 0) ready.push_back(&s);
+  }
+  if (ready.empty()) return 0;
+  if (n > 0) rr_ = (rr_ + 1) % n;
+  // One executor phase per round: sessions are mutually independent, so the
+  // phase is embarrassingly parallel; the per-session batch cap keeps the
+  // round (and thus cross-session latency) bounded.
+  const size_t limit = batch_limit_;
+  exec_->run_phase(ready.size(), [&ready, limit](size_t i) {
+    ready[i]->run_one_batch(limit);
+  });
+  return ready.size();
+}
+
+void MonitorService::drain() {
+  while (drain_round() > 0) {
+  }
+}
+
+size_t MonitorService::pending() const {
+  size_t total = 0;
+  for (const auto& s : sessions_) total += s->pending();
+  return total;
+}
+
+}  // namespace selin::service

@@ -1,0 +1,163 @@
+// Multi-tenant monitoring service: many independent (spec, history) streams
+// multiplexed over one shared executor.
+//
+// The paper's pipeline is single-tenant — one history, one monitor, and
+// (after the parallel PRs) private worker lanes per checker.  A deployment
+// watching thousands of concurrently monitored objects cannot afford a
+// thread set per object; what it needs is the shape of Pod's generalized
+// consensus layer (PAPERS.md): many client streams multiplexed over one
+// fixed worker set.  MonitorService is that multiplexer for membership
+// checking:
+//
+//   * one parallel::Executor, sized to the hardware (or injected), is the
+//     only source of worker threads — total threads stay bounded by its
+//     lane cap no matter how many sessions are open;
+//   * each Session owns an independent LinMonitor (its own spec, dedup
+//     arenas, frontier) plus a pending-event buffer — sessions share
+//     *threads*, never monitor state, so there is no cross-session
+//     synchronization beyond the executor's queue;
+//   * feeds are buffered and the service drains them in round-robin
+//     *batches*: each drain round takes at most `batch_limit` events from
+//     every pending session and runs the sessions' feed_batch calls as one
+//     executor phase, so independent sessions progress in parallel while
+//     the batched feed path amortizes per-event closure work within each.
+//
+// Verdicts are deterministic per session: a session's events are fed in
+// arrival order whatever the interleaving with other sessions' work and
+// whatever the executor's lane count (tests/service_test.cpp asserts this).
+// Verdict granularity is the batch: ok() may flip anywhere inside a drained
+// batch, and first_bad_index() brackets the offense by the start of that
+// batch (re-check the reported window per event for the exact offender).
+//
+// Threading contract: open/feed/drain/close are controller-thread calls
+// (one caller, like every selin facade); the parallelism lives inside
+// drain_round.  Per-session queries are safe between drains.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "selin/engine/stats.hpp"
+#include "selin/history/history.hpp"
+#include "selin/lincheck/checker.hpp"
+#include "selin/parallel/executor.hpp"
+#include "selin/spec/spec.hpp"
+
+namespace selin::service {
+
+using SessionId = size_t;
+
+struct ServiceOptions {
+  /// Worker-lane cap of the service's executor; 0 = hardware-resolved.
+  /// Ignored when `executor` is provided.
+  size_t lanes = 0;
+  /// Max events drained from one session per round — the fairness quantum:
+  /// a firehose session cannot starve the others for longer than one batch.
+  size_t batch_limit = 256;
+  /// Share an existing executor (e.g. with other services or checkers)
+  /// instead of creating one.
+  std::shared_ptr<parallel::Executor> executor;
+};
+
+struct SessionOptions {
+  /// Exploration budget of the session's membership monitor.
+  size_t max_configs = 1 << 18;
+  /// Per-session monitor threads knob (1 = sequential within the session —
+  /// the default: cross-session parallelism usually saturates the executor
+  /// first; > 1 / engine::auto_threads(n) shard wide frontiers over the
+  /// same shared executor).
+  size_t threads = 1;
+};
+
+/// One monitored stream.  Owned by the service; query between drains.
+class Session {
+ public:
+  enum class Status {
+    kOk,          ///< every drained event consistent so far
+    kRejected,    ///< membership violated (sticky)
+    kOverflowed,  ///< exploration budget exceeded; verdict unknown (sticky)
+  };
+
+  const std::string& name() const { return name_; }
+  Status status() const;
+  bool ok() const { return status() == Status::kOk; }
+
+  /// Events the monitor has accepted so far (excludes still-buffered ones;
+  /// a settled session stops counting where processing stopped).
+  size_t events_fed() const { return fed_; }
+  /// Events buffered but not yet drained.
+  size_t pending() const { return buffer_.size() - head_; }
+  /// Index (in arrival order) of the first event of the batch in which the
+  /// verdict flipped; events_fed() when still ok.  Batch granularity: the
+  /// monitor settles verdicts per drained batch.
+  size_t first_bad_index() const { return settled_ ? first_bad_ : fed_; }
+
+  /// Execution counters of the session's engine (engine/stats.hpp).
+  engine::EngineStats stats() const { return monitor_.stats(); }
+  size_t frontier_size() const { return monitor_.frontier_size(); }
+
+ private:
+  friend class MonitorService;
+
+  Session(std::string name, std::unique_ptr<SeqSpec> spec,
+          const SessionOptions& opts,
+          std::shared_ptr<parallel::Executor> exec);
+
+  /// Feed up to `limit` buffered events into the monitor (executor-phase
+  /// job: touches only this session).  CheckerOverflow is absorbed into the
+  /// sticky overflowed status.
+  void run_one_batch(size_t limit);
+
+  std::string name_;
+  std::unique_ptr<SeqSpec> spec_;
+  LinMonitor monitor_;
+  std::vector<Event> buffer_;  // pending events; [head_, size) undrained
+  size_t head_ = 0;
+  size_t fed_ = 0;
+  size_t first_bad_ = 0;
+  bool settled_ = false;  // rejected or overflowed: drop further input
+};
+
+class MonitorService {
+ public:
+  explicit MonitorService(const ServiceOptions& opts = {});
+
+  /// Opens an independent stream checked against `spec`.  The returned id
+  /// is stable for the service's lifetime (sessions are never reused).
+  SessionId open(std::string name, std::unique_ptr<SeqSpec> spec,
+                 const SessionOptions& opts = {});
+
+  Session& session(SessionId id) { return *sessions_[id]; }
+  const Session& session(SessionId id) const { return *sessions_[id]; }
+  size_t session_count() const { return sessions_.size(); }
+
+  /// Buffer events for a session (fed in arrival order at the next drain).
+  void feed(SessionId id, const Event& e);
+  void feed(SessionId id, std::span<const Event> events);
+
+  /// One round-robin scheduling round: up to batch_limit events from every
+  /// session with pending input, the batches running concurrently on the
+  /// executor.  Returns the number of sessions serviced (0 = nothing
+  /// pending).
+  size_t drain_round();
+
+  /// Drain rounds until no session has pending input.
+  void drain();
+
+  /// Total events still buffered across sessions.
+  size_t pending() const;
+
+  const std::shared_ptr<parallel::Executor>& executor() const {
+    return exec_;
+  }
+
+ private:
+  std::shared_ptr<parallel::Executor> exec_;
+  size_t batch_limit_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  size_t rr_ = 0;  // round-robin start offset (fairness rotation)
+};
+
+}  // namespace selin::service

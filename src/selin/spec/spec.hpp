@@ -81,6 +81,16 @@ class MembershipMonitor {
  public:
   virtual ~MembershipMonitor() = default;
   virtual void feed(const Event& e) = 0;
+
+  /// Feed a batch of events.  Semantically identical to feeding them one at
+  /// a time (same final verdict and frontier); monitors that can amortize
+  /// per-event work across the batch override this — the frontier checkers
+  /// run their closure once per run of consecutive responses instead of
+  /// once per response.
+  virtual void feed_batch(std::span<const Event> events) {
+    for (const Event& e : events) feed(e);
+  }
+
   /// Membership verdict for everything fed so far.  Once false, stays false.
   virtual bool ok() const = 0;
   virtual std::unique_ptr<MembershipMonitor> clone() const = 0;

@@ -69,7 +69,8 @@ LeveledChecker::LeveledChecker(const GenLinObject& obj, const Options& opts)
     : obj_(&obj), stride_(opts.stride == 0 ? 1 : opts.stride),
       threads_(opts.threads), snapshot_lanes_(opts.snapshot_lanes) {
   if (snapshot_lanes_ > 0) {
-    lanes_ = std::make_unique<parallel::TaskLanes>(snapshot_lanes_);
+    lanes_ = std::make_unique<parallel::TaskLanes>(snapshot_lanes_,
+                                                   opts.executor);
   }
 }
 
@@ -82,21 +83,38 @@ void LeveledChecker::ensure_monitor() {
   }
 }
 
-void LeveledChecker::feed_level(const Level& lvl) {
+void LeveledChecker::append_batch(const XBuilder& builder) {
   // Monitors are sticky-false, so feeding past a failed level is harmless;
   // GenLin objects are prefix-closed, hence a failing prefix settles the
-  // verdict anyway.
-  for (const OpDesc& op : lvl.invs) cur_->feed(Event::inv(op));
-  for (const auto& [op, y] : lvl.ress) cur_->feed(Event::res(op, y));
-  if (stripe_open_) {
-    // Copy the level's events for the in-flight stripe: lane jobs replay
-    // from these copies, never from the caller's mutable XBuilder.
-    for (const OpDesc& op : lvl.invs) chunk_.push_back(Event::inv(op));
-    for (const auto& [op, y] : lvl.ress) chunk_.push_back(Event::res(op, y));
+  // verdict anyway.  Each stride segment goes to the monitor as one batch,
+  // so the frontier engine runs its closure once per segment's response
+  // runs instead of once per response; segments never span a stride
+  // boundary, keeping the checkpoint policy level-exact.
+  const auto& levels = builder.levels();
+  ensure_monitor();
+  while (fed_ < levels.size()) {
+    const size_t until =
+        std::min(levels.size(), (fed_ / stride_ + 1) * stride_);
+    batch_.clear();
+    for (size_t i = fed_; i < until; ++i) {
+      const Level& lvl = levels[i];
+      for (const OpDesc& op : lvl.invs) batch_.push_back(Event::inv(op));
+      for (const auto& [op, y] : lvl.ress) {
+        batch_.push_back(Event::res(op, y));
+      }
+    }
+    cur_->feed_batch(batch_);
+    if (stripe_open_) {
+      // Copy the segment's events for the in-flight stripe: lane jobs
+      // replay from these copies, never from the caller's mutable XBuilder.
+      chunk_.insert(chunk_.end(), batch_.begin(), batch_.end());
+    }
+    fed_ = until;
+    if (fed_ % stride_ == 0) stride_boundary();
   }
-  ++fed_;
-  if (fed_ % stride_ != 0) return;
+}
 
+void LeveledChecker::stride_boundary() {
   const size_t idx = fed_ / stride_ - 1;
   if (checkpoints_.size() <= idx) checkpoints_.resize(idx + 1);
   if (lanes_ == nullptr) {
@@ -216,7 +234,7 @@ bool LeveledChecker::resync(const XBuilder& builder,
     // merge's brand-new levels would have been fed either way.
     replayed_levels_ += std::min(old_fed, levels.size()) - fed_;
   }
-  while (fed_ < levels.size()) feed_level(levels[fed_]);
+  append_batch(builder);
   ok_ = cur_->ok();
   return ok_;
 }

@@ -115,6 +115,11 @@ class LeveledChecker {
     /// synchronous discipline).  N > 0 = deferred snapshotting: seeds
     /// inline every kStripe-th boundary, interiors rebuilt on N lanes.
     size_t snapshot_lanes = 0;
+    /// Shared lane provider for the snapshot lanes (nullptr = a private
+    /// executor created lazily on the first stripe post).  Multi-tenant
+    /// deployments pass one executor so N checkers' deferred snapshot work
+    /// shares one bounded thread pool.
+    std::shared_ptr<parallel::Executor> executor;
   };
 
   explicit LeveledChecker(const GenLinObject& obj,
@@ -135,6 +140,14 @@ class LeveledChecker {
   /// rollback-storm shape MonitorCore produces).  Restores once, below the
   /// lowest dirty level, instead of once per record.
   bool resync(const XBuilder& builder, std::span<const size_t> dirty_levels);
+
+  /// Feed every level the builder holds beyond levels_fed() into the live
+  /// monitor, batching the events of each stride segment into one
+  /// feed_batch call so the membership engine amortizes its closure work
+  /// across the segment (checkpoint policy applied at every stride
+  /// boundary, exactly as per-level feeding would).  resync() calls this;
+  /// exposed for callers that append without a dirty set.
+  void append_batch(const XBuilder& builder);
 
   bool ok() const { return ok_; }
 
@@ -174,10 +187,9 @@ class LeveledChecker {
   };
 
   void ensure_monitor();
-  /// Feed one level into the live monitor, applying the checkpoint policy
-  /// (inline clone, stripe seed, or stripe-chunk accumulation) at stride
-  /// boundaries.
-  void feed_level(const Level& lvl);
+  /// Checkpoint policy at a stride boundary (fed_ % stride == 0): inline
+  /// clone, stripe seed, or stripe-chunk handoff.
+  void stride_boundary();
   /// Restore the nearest materialized checkpoint at or below `from_level`,
   /// eagerly releasing everything above it.
   void rollback(size_t from_level);
@@ -202,6 +214,7 @@ class LeveledChecker {
   size_t stripe_seed_ = 0;                   // checkpoint index of the seed
   std::vector<std::vector<Event>> stripe_chunks_;
   std::vector<Event> chunk_;                 // events since last boundary
+  std::vector<Event> batch_;                 // append_batch scratch
   std::vector<std::shared_ptr<StripeJob>> pending_;
 
   uint64_t rollbacks_ = 0;

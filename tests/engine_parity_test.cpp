@@ -134,6 +134,135 @@ TEST(EngineParity, IntervalLinWriteSnapshot) {
   }
 }
 
+// ---- batched feed parity ---------------------------------------------------
+//
+// feed_batch must produce bit-identical verdicts and frontier sizes to
+// feeding the same events one at a time, at every batch boundary, for every
+// chunking and in every execution mode: the one closure a batch round runs
+// services the whole run of consecutive responses (the filtered frontier is
+// already closed — see FrontierEngine::feed_res_run), so nothing may depend
+// on where the stream is cut.
+
+// Feed `h` per-event into a reference monitor and in `chunk`-sized batches
+// into another; compare verdict and frontier at every chunk boundary.
+template <typename Monitor, typename MakeMonitor>
+void expect_batch_parity(MakeMonitor&& make, const History& h, size_t chunk,
+                         size_t mode, const char* label) {
+  Monitor ref = make(size_t{1});
+  Monitor batched = make(mode);
+  for (size_t i = 0; i < h.size(); i += chunk) {
+    const size_t n = std::min(chunk, h.size() - i);
+    for (size_t k = i; k < i + n; ++k) ref.feed(h[k]);
+    batched.feed_batch({h.data() + i, n});
+    ASSERT_EQ(ref.ok(), batched.ok())
+        << label << " chunk " << chunk << " mode " << mode << " events ["
+        << i << ", " << i + n << ")";
+    ASSERT_EQ(ref.frontier_size(), batched.frontier_size())
+        << label << " chunk " << chunk << " mode " << mode << " events ["
+        << i << ", " << i + n << ")";
+  }
+}
+
+TEST(BatchParity, AllSeqSpecsEveryChunkingAndMode) {
+  const size_t modes[] = {1, 2, engine::auto_threads(2)};
+  for (ObjectKind kind : kAllKinds) {
+    auto spec = make_spec(kind);
+    auto make = [&](size_t threads) {
+      return LinMonitor(*spec, 1 << 18, threads);
+    };
+    for (uint64_t seed = 1; seed <= 2; ++seed) {
+      History good = random_linearizable_history(kind, 4, 36, seed * 31 + 5);
+      History bad = good;
+      bool have_bad = corrupt_response(bad, seed * 3 + 2);
+      for (size_t chunk : {size_t{1}, size_t{3}, size_t{8}, good.size()}) {
+        for (size_t mode : modes) {
+          expect_batch_parity<LinMonitor>(make, good, chunk, mode,
+                                          object_kind_name(kind));
+          if (have_bad) {
+            expect_batch_parity<LinMonitor>(make, bad, chunk, mode,
+                                            object_kind_name(kind));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchParity, SetLinExchangerEveryChunking) {
+  auto spec = make_exchanger_spec();
+  auto make = [&](size_t threads) {
+    return SetLinMonitor(*spec, 1 << 18, threads);
+  };
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    History h = random_exchanger_history(4, 18, seed * 13 + 3);
+    for (size_t chunk : {size_t{1}, size_t{4}, h.size()}) {
+      for (size_t mode : {size_t{1}, size_t{2}, engine::auto_threads(2)}) {
+        expect_batch_parity<SetLinMonitor>(make, h, chunk, mode, "exchanger");
+      }
+    }
+  }
+}
+
+TEST(BatchParity, IntervalWriteSnapshotEveryChunking) {
+  auto spec = make_write_snapshot_interval_spec();
+  auto make = [&](size_t threads) {
+    return IntervalLinMonitor(*spec, 1 << 18, threads);
+  };
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    for (bool corrupt : {false, true}) {
+      History h = random_write_snapshot_history(5, seed * 41 + 7, corrupt);
+      for (size_t chunk : {size_t{1}, size_t{4}, h.size()}) {
+        for (size_t mode : {size_t{1}, size_t{2}, engine::auto_threads(2)}) {
+          expect_batch_parity<IntervalLinMonitor>(make, h, chunk, mode,
+                                                  "write-snapshot");
+        }
+      }
+    }
+  }
+}
+
+// A batch overflowing mid-run behaves exactly like the per-event overflow:
+// CheckerOverflow propagates, the monitor poisons sticky, later batches are
+// no-ops.
+TEST(BatchParity, OverflowInsideBatchPoisonsSticky) {
+  auto spec = make_queue_spec();
+  for (size_t mode : {size_t{1}, size_t{2}, engine::auto_threads(2)}) {
+    LinMonitor m(*spec, /*max_configs=*/4, mode);
+    OpFactory f;
+    History h;
+    std::vector<OpDesc> es;
+    for (ProcId p = 0; p < 6; ++p) {
+      es.push_back(f.op(p, Method::kEnqueue, p + 1));
+      h.push_back(Event::inv(es.back()));
+    }
+    h.push_back(Event::res(es[0], kTrue));
+    h.push_back(Event::res(es[1], kTrue));
+    EXPECT_THROW(m.feed_batch({h.data(), h.size()}), CheckerOverflow);
+    EXPECT_TRUE(m.overflowed());
+    EXPECT_EQ(m.frontier_size(), 0u);
+    EXPECT_NO_THROW(m.feed_batch({h.data(), h.size()}));
+  }
+}
+
+// The point of the batch path: one closure per response run.  A run of k
+// consecutive responses must cost one engine round, not k.
+TEST(BatchParity, BatchRunCountsOneRound) {
+  auto spec = make_queue_spec();
+  LinMonitor m(*spec, 1 << 18, 1);
+  OpFactory f;
+  History h;
+  std::vector<OpDesc> es;
+  for (ProcId p = 0; p < 4; ++p) {
+    es.push_back(f.op(p, Method::kEnqueue, p + 1));
+    h.push_back(Event::inv(es.back()));
+  }
+  for (ProcId p = 0; p < 4; ++p) h.push_back(Event::res(es[p], kTrue));
+  m.feed_batch({h.data(), h.size()});
+  engine::EngineStats s = m.stats();
+  EXPECT_EQ(s.events_fed, h.size());
+  EXPECT_EQ(s.rounds_sequential, 1u) << "4-response run must be one round";
+}
+
 // ---- overflow / feed-boundary exception parity -----------------------------
 
 TEST(EngineParity, OverflowStickyInEveryMode) {

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Exit-code and output contract of selin_check, single- and multi-history
+# modes (registered as ctest target selin_check_cli).
+#
+#   single: 0 linearizable | 1 not | 2 usage/parse | 3 overflow
+#   multi:  0 all ok | 1 any violation | 2 usage | 3 any overflow
+#           | 4 any session error (unreadable/malformed file)
+#
+# Usage: selin_check_cli_test.sh <path-to-selin_check> <path-to-gen-script>
+set -u
+
+bin="$1"
+gen="$2"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+fails=0
+
+expect() {
+  local want="$1"; shift
+  "$@" > "$tmp/out" 2> "$tmp/err"
+  local got=$?
+  if [[ "$got" != "$want" ]]; then
+    echo "FAIL: exit $got (want $want): $*" >&2
+    sed 's/^/  out: /' "$tmp/out" >&2
+    sed 's/^/  err: /' "$tmp/err" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: exit $got: $*"
+  fi
+}
+
+expect_grep() {
+  local pattern="$1"
+  if ! grep -Eq "$pattern" "$tmp/out"; then
+    echo "FAIL: output missing /$pattern/" >&2
+    sed 's/^/  out: /' "$tmp/out" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: output has /$pattern/"
+  fi
+}
+
+bash "$gen" "$tmp/hists" --with-broken
+
+ok_files=("$tmp"/hists/ok_*.hist)
+
+# Overflow sample: 6 concurrently open enqueues, then a response forcing a
+# closure far past selin_check's budget is impossible at 2^18 — instead
+# craft one with sustained width 20 (frontier 20! >> 2^18 on the closure).
+overflow="$tmp/overflow.hist"
+: > "$overflow"
+for p in $(seq 0 19); do
+  echo "inv $p 0 Enqueue $((p + 1))" >> "$overflow"
+done
+echo "res 0 0 Enqueue 1 true" >> "$overflow"
+
+# ---- single-history mode ---------------------------------------------------
+expect 0 "$bin" queue "${ok_files[0]}"
+expect 0 "$bin" queue "${ok_files[0]}" --witness --stats
+expect 1 "$bin" queue "$tmp/hists/bad_fifo.hist"
+expect 2 "$bin" queue "$tmp/hists/broken.hist"
+expect 2 "$bin" queue "$tmp/does-not-exist.hist"
+expect 2 "$bin" frobnicator "${ok_files[0]}"
+expect 2 "$bin" queue "${ok_files[0]}" --bogus-flag
+expect 2 "$bin" queue "${ok_files[0]}" --tune            # --tune needs auto
+expect 3 "$bin" queue "$overflow"
+
+# ---- multi-history mode ----------------------------------------------------
+# All accepting: 0, and the summary table lists every file as OK.
+expect 0 "$bin" queue "${ok_files[@]}" --jobs 2
+expect_grep '^file +verdict +events$'
+expect_grep 'ok_1\.hist +OK +10'
+
+# Any violation: 1, named in the table.
+expect 1 "$bin" queue "${ok_files[@]}" "$tmp/hists/bad_fifo.hist" --jobs 2
+expect_grep 'bad_fifo\.hist +VIOLATION'
+
+# Any overflow outranks violations: 3.
+expect 3 "$bin" queue "${ok_files[@]}" "$tmp/hists/bad_fifo.hist" \
+  "$overflow" --jobs 2
+expect_grep 'overflow\.hist +OVERFLOW'
+
+# Any session error (malformed or unreadable) outranks everything: 4.
+expect 4 "$bin" queue "${ok_files[@]}" "$tmp/hists/broken.hist" --jobs 2
+expect_grep 'broken\.hist +ERROR'
+expect 4 "$bin" queue "${ok_files[0]}" "$tmp/does-not-exist.hist" --jobs 2
+# A directory opens but never reads: a dead stream is an ERROR, not EOF/OK.
+expect 4 "$bin" queue "${ok_files[0]}" "$tmp/hists" --jobs 2
+
+# --jobs with one file still runs the service path.
+expect 0 "$bin" queue "${ok_files[0]}" --jobs 1
+# --quiet multi prints only non-OK rows.
+expect 1 "$bin" queue "${ok_files[@]}" "$tmp/hists/bad_fifo.hist" --jobs 2 --quiet
+expect_grep 'bad_fifo\.hist +VIOLATION'
+if grep -q "ok_1.hist" "$tmp/out"; then
+  echo "FAIL: --quiet printed an OK row" >&2
+  fails=$((fails + 1))
+fi
+# Usage errors in multi mode: stdin and --witness are single-only.
+expect 2 "$bin" queue "${ok_files[0]}" - --jobs 2
+expect 2 "$bin" queue "${ok_files[@]}" --jobs 2 --witness
+expect 2 "$bin" queue "${ok_files[@]}" --jobs 0
+
+if [[ "$fails" -ne 0 ]]; then
+  echo "$fails check(s) failed" >&2
+  exit 1
+fi
+echo "all selin_check CLI checks passed"

@@ -3,7 +3,7 @@
 # and folds the results into BENCH_lincheck.json at the repo root, so the
 # perf trajectory is tracked PR over PR.
 #
-# Usage: tools/run_bench.sh [build-dir] [--facet all|parallel_scaling|leveled_replay]
+# Usage: tools/run_bench.sh [build-dir] [--facet all|parallel_scaling|leveled_replay|multi_session]
 #
 # --facet parallel_scaling re-runs only BM_ParallelFrontierScaling and
 # replaces just the `parallel_scaling` facet of BENCH_lincheck.json, leaving
@@ -11,7 +11,10 @@
 # facet alone on a multi-core host (the facet is meaningless when
 # num_cpus < shards, and re-running the full suite there would overwrite
 # the tracked single-host trajectory).  --facet leveled_replay does the same
-# for the leveled checker's rollback-storm facet (bench_leveled_replay).
+# for the leveled checker's rollback-storm facet (bench_leveled_replay), and
+# --facet multi_session for the multi-tenant service sweep
+# (bench_multi_session: sessions x shared-executor lanes, aggregate
+# events/sec).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -37,8 +40,8 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 case "$facet" in
-  all|parallel_scaling|leveled_replay) ;;
-  *) echo "error: unknown facet '$facet' (all | parallel_scaling | leveled_replay)" >&2; exit 2 ;;
+  all|parallel_scaling|leveled_replay|multi_session) ;;
+  *) echo "error: unknown facet '$facet' (all | parallel_scaling | leveled_replay | multi_session)" >&2; exit 2 ;;
 esac
 
 tmp="$(mktemp -d)"
@@ -60,6 +63,13 @@ elif [[ "$facet" == "leveled_replay" ]]; then
   fi
   "$build_dir/bench_leveled_replay" \
       --benchmark_out="$tmp/leveled.json" --benchmark_out_format=json
+elif [[ "$facet" == "multi_session" ]]; then
+  if [[ ! -x "$build_dir/bench_multi_session" ]]; then
+    echo "error: bench_multi_session not built in $build_dir" >&2
+    exit 1
+  fi
+  "$build_dir/bench_multi_session" \
+      --benchmark_out="$tmp/multi_session.json" --benchmark_out_format=json
 else
   if [[ ! -x "$build_dir/bench_detection" ]]; then
     echo "error: benchmarks not built in $build_dir (cmake -B build -S . && cmake --build build -j)" >&2
@@ -73,12 +83,16 @@ else
     "$build_dir/bench_leveled_replay" \
         --benchmark_out="$tmp/leveled.json" --benchmark_out_format=json
   fi
+  if [[ -x "$build_dir/bench_multi_session" ]]; then
+    "$build_dir/bench_multi_session" \
+        --benchmark_out="$tmp/multi_session.json" --benchmark_out_format=json
+  fi
 fi
 
-python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$tmp/leveled.json" "$out" <<'EOF'
+python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$tmp/leveled.json" "$tmp/multi_session.json" "$out" <<'EOF'
 import json, sys
 
-mode, lincheck, detection, leveled, out = sys.argv[1:6]
+mode, lincheck, detection, leveled, multi_session, out = sys.argv[1:7]
 
 def load(path):
     with open(path) as f:
@@ -146,8 +160,60 @@ def leveled_replay_facet(run):
         "snapshot_mode_items_per_second": modes or None,
     }
 
-# The leveled_replay facet mode runs bench_leveled_replay alone, so no
-# lincheck.json exists to load — handle it before touching the other runs.
+def multi_session_facet(run):
+    """Aggregate verified-events/sec of the multi-tenant service by
+    (sessions, shared-executor lanes) — BM_MultiSessionThroughput — plus the
+    single-monitor batched-feed A/B (BM_BatchedFeedAmortization).  Session
+    scaling requires cores >= lanes; num_cpus is recorded alongside so
+    single-core hosts aren't misread as regressions.  Unstable by design:
+    tools/bench_gate.py excludes it from the regression gate until the CI
+    bench-scaling job records it on the multi-core runner."""
+    per_combo, batch = {}, {}
+    for b in run["benchmarks"]:
+        name = b.get("name", "")
+        if b.get("run_type") == "aggregate" or "items_per_second" not in b:
+            continue
+        if name.startswith("BM_MultiSessionThroughput/"):
+            parts = name.split("/")
+            per_combo[f"{parts[1]}x{parts[2]}"] = b["items_per_second"]
+        elif name.startswith("BM_BatchedFeedAmortization/"):
+            arg = name.split("/")[1]
+            arm = "per-event" if arg == "0" else f"batch={arg}"
+            batch[arm] = b["items_per_second"]
+    if not per_combo:
+        return None
+    def base_for(combo):
+        return per_combo.get(combo.split("x")[0] + "x1")
+    return {
+        "workload": "N independent linearizable sessions (256 ops each, "
+                    "mixed specs) multiplexed over a shared executor; key = "
+                    "sessions x lanes",
+        "num_cpus": run["context"].get("num_cpus"),
+        "events_per_second_by_sessions_x_lanes": per_combo,
+        "speedup_vs_1_lane": {
+            c: (v / base_for(c) if base_for(c) else None)
+            for c, v in per_combo.items()
+        },
+        "batched_feed_events_per_second": batch or None,
+    }
+
+# The single-binary facet modes run one bench alone, so no lincheck.json
+# exists to load — handle them before touching the other runs.
+if mode == "multi_session":
+    facet = multi_session_facet(load(multi_session))
+    if facet is None:
+        sys.exit("error: no BM_MultiSessionThroughput results in this run")
+    try:
+        with open(out) as f:
+            result = json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        sys.exit(f"error: {out} missing or unreadable; run the full suite first")
+    result["multi_session"] = facet
+    with open(out, "w") as f:
+        json.dump(result, f, indent=1)
+    print(f"updated multi_session facet of {out}")
+    sys.exit(0)
+
 if mode == "leveled_replay":
     facet = leveled_replay_facet(load(leveled))
     if facet is None:
@@ -189,14 +255,21 @@ except FileNotFoundError:
     leveled_facet = None
 if leveled_facet is not None:
     result["leveled_replay"] = leveled_facet
+try:
+    session_facet = multi_session_facet(load(multi_session))
+except FileNotFoundError:
+    session_facet = None
+if session_facet is not None:
+    result["multi_session"] = session_facet
 
 # Preserve facets recorded by earlier PRs/other hosts when this run did not
 # produce them (baseline_string_key is PR 1's string-key engine baseline;
-# leveled_replay goes missing when bench_leveled_replay wasn't built).
+# leveled_replay/multi_session go missing when their benches weren't built).
 try:
     with open(out) as f:
         prev = json.load(f)
-    for key in ("baseline_string_key", "leveled_replay", "parallel_scaling"):
+    for key in ("baseline_string_key", "leveled_replay", "parallel_scaling",
+                "multi_session"):
         if key in prev and key not in result:
             result[key] = prev[key]
 except (FileNotFoundError, json.JSONDecodeError):

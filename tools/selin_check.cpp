@@ -1,9 +1,19 @@
 // selin_check — offline linearizability checker over text histories.
 //
-// Usage:
+// Single-history mode:
 //   selin_check <object> <history-file> [--witness] [--quiet]
 //               [--threads N|auto] [--tune] [--stats]
 //   selin_check <object> -              (read from stdin)
+//
+// Multi-history mode (more than one file, or --jobs given): every file
+// becomes an independent session of a service::MonitorService multiplexed
+// over one shared executor — files are streamed line-at-a-time
+// (HistoryStreamReader), batches are scheduled round-robin, and the
+// sessions' membership tests run concurrently on --jobs worker lanes:
+//   selin_check <object> file1 file2 ... [--jobs N] [--quiet]
+//               [--threads N|auto] [--tune] [--stats]
+// A per-file verdict summary table is printed at the end (unless --quiet,
+// which prints only failing files).
 //
 // <object>: queue | stack | set | pqueue | counter | register | consensus
 //
@@ -13,15 +23,25 @@
 // attaches the engine::AutoTuner, which feeds the engine's own stats —
 // dedup hit rate, peak frontier width, round mix — back into the
 // engage/retreat thresholds and the lane count online, replacing the fixed
-// hysteresis constants.  The witness (--witness) always comes
-// from the sequential DFS, which is the only engine that records a
-// linearization order.  --stats prints the engine's execution counters
-// (peak frontier width, dedup hit rate, recycled states, rounds dispatched
-// parallel vs sequential).
+// hysteresis constants.  In multi-history mode the knob applies per session,
+// on top of the shared --jobs lanes.  The witness (--witness, single-history
+// only) always comes from the sequential DFS, which is the only engine that
+// records a linearization order.  --stats prints the engine's execution
+// counters per history.
 //
-// Exit codes: 0 = linearizable, 1 = NOT linearizable, 2 = usage/parse
-// error, 3 = exploration budget overflow (verdict unknown — the membership
-// problem is NP-hard and this history has too much sustained concurrency).
+// Exit codes, single-history mode: 0 = linearizable, 1 = NOT linearizable,
+// 2 = usage/parse error, 3 = exploration budget overflow (verdict unknown —
+// the membership problem is NP-hard and this history has too much sustained
+// concurrency).
+//
+// Exit codes, multi-history mode (worst session wins, most severe first):
+//   4 = at least one session errored (file unreadable or malformed);
+//   3 = at least one session overflowed its exploration budget;
+//   1 = at least one history NOT linearizable;
+//   0 = every history linearizable;
+//   2 = usage error (bad flags/object — nothing was checked).
+// The distinct codes let scripts separate "your trace is broken" (4) from
+// "the verdict is unknown" (3) from "the implementation is wrong" (1).
 //
 // This is the P_O membership test of the paper exposed as a tool: the same
 // engine the runtime verifier uses (and the same format certificates are
@@ -29,10 +49,13 @@
 // witness without running the system (Section 8.3 forensics).
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "selin/io/history_io.hpp"
 #include "selin/lincheck/checker.hpp"
+#include "selin/service/monitor_service.hpp"
 #include "selin/sim/workload.hpp"
 
 namespace {
@@ -53,7 +76,9 @@ std::optional<ObjectKind> parse_object(const std::string& s) {
 int usage() {
   std::cerr << "usage: selin_check <queue|stack|set|pqueue|counter|register|"
                "consensus> <file|-> [--witness] [--quiet] [--threads N|auto] "
-               "[--tune] [--stats]\n";
+               "[--tune] [--stats]\n"
+               "       selin_check <object> <file> <file> ... [--jobs N] "
+               "[--quiet] [--threads N|auto] [--tune] [--stats]\n";
   return 2;
 }
 
@@ -84,48 +109,10 @@ int report_overflow(const LinMonitor& m, bool want_stats) {
   return 3;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  auto kind = parse_object(argv[1]);
-  if (!kind.has_value()) return usage();
-  bool want_witness = false, quiet = false, want_stats = false;
-  bool want_tune = false;
-  size_t threads = 1;
-  for (int i = 3; i < argc; ++i) {
-    std::string flag = argv[i];
-    if (flag == "--witness") want_witness = true;
-    else if (flag == "--quiet") quiet = true;
-    else if (flag == "--stats") want_stats = true;
-    else if (flag == "--tune") want_tune = true;
-    else if (flag == "--threads" && i + 1 < argc) {
-      std::string v = argv[++i];
-      if (v == "auto") {
-        threads = engine::kAutoThreads;
-      } else {
-        char* end = nullptr;
-        unsigned long n = std::strtoul(v.c_str(), &end, 10);
-        if (end == nullptr || *end != '\0' || n == 0 || n > 256) {
-          return usage();
-        }
-        threads = static_cast<size_t>(n);
-      }
-    } else {
-      return usage();
-    }
-  }
-  if (want_tune) {
-    if (!engine::is_auto_threads(threads)) {
-      std::cerr << "selin_check: --tune requires --threads auto\n";
-      return usage();
-    }
-    threads |= engine::kTuneFlag;
-  }
-
+int run_single(ObjectKind kind, const std::string& path, bool want_witness,
+               bool quiet, bool want_stats, size_t threads) {
   History h;
   try {
-    std::string path = argv[2];
     if (path == "-") {
       h = parse_history(std::cin);
     } else {
@@ -141,7 +128,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto spec = make_spec(*kind);
+  auto spec = make_spec(kind);
   LinMonitor m(*spec, /*max_configs=*/1 << 18, threads);
   size_t first_bad = h.size();
   try {
@@ -194,4 +181,192 @@ int main(int argc, char** argv) {
   }
   if (want_stats) print_stats(m.stats());
   return 1;
+}
+
+int run_multi(ObjectKind kind, const std::vector<std::string>& files,
+              size_t jobs, bool quiet, bool want_stats, size_t threads) {
+  struct FileCtx {
+    std::string path;
+    std::ifstream stream;
+    std::unique_ptr<HistoryStreamReader> reader;
+    service::SessionId sid = 0;
+    bool has_session = false;
+    bool eof = false;
+    std::string error;
+  };
+
+  service::ServiceOptions so;
+  so.lanes = jobs;
+  so.batch_limit = 512;
+  service::MonitorService svc(so);
+
+  std::vector<FileCtx> ctxs(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    FileCtx& c = ctxs[i];
+    c.path = files[i];
+    c.stream.open(c.path);
+    if (!c.stream) {
+      c.error = "cannot open";
+      c.eof = true;
+      continue;
+    }
+    c.reader = std::make_unique<HistoryStreamReader>(c.stream);
+    service::SessionOptions sopts;
+    sopts.threads = threads;
+    c.sid = svc.open(c.path, make_spec(kind), sopts);
+    c.has_session = true;
+  }
+
+  // Stream round-robin: one read batch per live file, then one service
+  // drain round, so no single deep file monopolizes either io or the
+  // executor.  A parse error settles that file as ERRORED but the other
+  // sessions keep going.
+  constexpr size_t kReadBatch = 512;
+  std::vector<Event> batch;
+  for (;;) {
+    bool reading = false;
+    for (FileCtx& c : ctxs) {
+      if (c.eof) continue;
+      if (c.has_session && !svc.session(c.sid).ok()) {
+        // Settled verdict (violation/overflow is sticky): further input
+        // cannot change it, so don't parse the rest of the file.
+        c.eof = true;
+        continue;
+      }
+      batch.clear();
+      try {
+        if (c.reader->read_batch(batch, kReadBatch) == 0) {
+          c.eof = true;
+          // A dead stream that is not at end-of-file (directory passed as a
+          // file, I/O error mid-trace) is a session error, not a clean EOF.
+          if (!c.stream.eof()) c.error = "read error (stream failed)";
+        }
+      } catch (const HistoryParseError& e) {
+        c.error = e.what();
+        c.eof = true;
+      }
+      if (!batch.empty()) svc.feed(c.sid, batch);
+      reading = reading || !c.eof;
+    }
+    if (svc.drain_round() == 0 && !reading) break;
+  }
+  svc.drain();
+
+  size_t width = 4;  // "file" header
+  for (const FileCtx& c : ctxs) width = std::max(width, c.path.size());
+  bool any_error = false, any_overflow = false, any_violation = false;
+  if (!quiet) {
+    std::cout << std::left << std::setw(static_cast<int>(width + 2)) << "file"
+              << std::setw(12) << "verdict" << "events\n";
+  }
+  for (const FileCtx& c : ctxs) {
+    std::string verdict;
+    std::string detail;
+    size_t events = 0;
+    if (!c.error.empty()) {
+      any_error = true;
+      verdict = "ERROR";
+      detail = c.error;
+      if (c.has_session) events = svc.session(c.sid).events_fed();
+    } else {
+      const service::Session& s = svc.session(c.sid);
+      events = s.events_fed();
+      switch (s.status()) {
+        case service::Session::Status::kOk:
+          verdict = "OK";
+          break;
+        case service::Session::Status::kRejected:
+          any_violation = true;
+          verdict = "VIOLATION";
+          detail = "inconsistent within events [" +
+                   std::to_string(s.first_bad_index()) + ", " +
+                   std::to_string(s.events_fed()) + ")";
+          break;
+        case service::Session::Status::kOverflowed:
+          any_overflow = true;
+          verdict = "OVERFLOW";
+          detail = "budget exceeded; verdict unknown";
+          break;
+      }
+    }
+    if (!quiet || verdict != "OK") {
+      std::cout << std::left << std::setw(static_cast<int>(width + 2))
+                << c.path << std::setw(12) << verdict << events;
+      if (!detail.empty()) std::cout << "  # " << detail;
+      std::cout << "\n";
+    }
+    if (want_stats && c.has_session) print_stats(svc.session(c.sid).stats());
+  }
+  if (any_error) return 4;
+  if (any_overflow) return 3;
+  if (any_violation) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto kind = parse_object(argv[1]);
+  if (!kind.has_value()) return usage();
+  bool want_witness = false, quiet = false, want_stats = false;
+  bool want_tune = false, jobs_given = false;
+  size_t threads = 1;
+  size_t jobs = 0;  // 0 = hardware-resolved
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--witness") want_witness = true;
+    else if (flag == "--quiet") quiet = true;
+    else if (flag == "--stats") want_stats = true;
+    else if (flag == "--tune") want_tune = true;
+    else if (flag == "--threads" && i + 1 < argc) {
+      std::string v = argv[++i];
+      if (v == "auto") {
+        threads = engine::kAutoThreads;
+      } else {
+        char* end = nullptr;
+        unsigned long n = std::strtoul(v.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || n == 0 || n > 256) {
+          return usage();
+        }
+        threads = static_cast<size_t>(n);
+      }
+    } else if (flag == "--jobs" && i + 1 < argc) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || n == 0 || n > 256) return usage();
+      jobs = static_cast<size_t>(n);
+      jobs_given = true;
+    } else if (!flag.empty() && flag[0] == '-' && flag != "-") {
+      return usage();
+    } else {
+      files.push_back(flag);
+    }
+  }
+  if (files.empty()) return usage();
+  if (want_tune) {
+    if (!engine::is_auto_threads(threads)) {
+      std::cerr << "selin_check: --tune requires --threads auto\n";
+      return usage();
+    }
+    threads |= engine::kTuneFlag;
+  }
+
+  const bool multi = files.size() > 1 || jobs_given;
+  if (!multi) {
+    return run_single(*kind, files[0], want_witness, quiet, want_stats,
+                      threads);
+  }
+  if (want_witness) {
+    std::cerr << "selin_check: --witness is single-history only\n";
+    return usage();
+  }
+  for (const std::string& f : files) {
+    if (f == "-") {
+      std::cerr << "selin_check: stdin ('-') is single-history only\n";
+      return usage();
+    }
+  }
+  return run_multi(*kind, files, jobs, quiet, want_stats, threads);
 }
