@@ -1,0 +1,184 @@
+// Frontier memory footprint (the `frontier_memory` facet of
+// BENCH_lincheck.json): peak live configurations and mean per-configuration
+// op-set bytes of the run-length representation (util/interval_set.hpp),
+// against the modeled cost of the flat SmallVec representation it replaced
+// (small_vec_model_bytes).
+//
+// The workloads are built around *stragglers*: operations whose effect is
+// forced by later observations but whose responses never arrive, so they sit
+// in every configuration's op set for the rest of the history.  Stragglers
+// on adjacent process ids form one contiguous seq-major run — the lockstep
+// cohort shape the compressed representation targets.  Wall time is
+// secondary here (the facet is listed in bench_gate.py's unstable set); the
+// counters are the product.
+#include <benchmark/benchmark.h>
+
+#include "selin/selin.hpp"
+
+namespace {
+
+using namespace selin;
+
+/// Accumulated footprint polls over one monitored history.
+struct FootprintProbe {
+  size_t peak_configs = 0;
+  size_t peak_total_bytes = 0;
+  uint64_t sum_configs = 0;
+  uint64_t sum_elems = 0;
+  uint64_t sum_bytes = 0;
+  uint64_t sum_model_bytes = 0;
+
+  void poll(const engine::FrontierFootprint& f) {
+    peak_configs = std::max(peak_configs, f.configs);
+    peak_total_bytes = std::max(peak_total_bytes, f.opset_bytes);
+    sum_configs += f.configs;
+    sum_elems += f.opset_elems;
+    sum_bytes += f.opset_bytes;
+    sum_model_bytes += f.opset_smallvec_bytes;
+  }
+
+  void publish(benchmark::State& state) const {
+    const double configs = sum_configs == 0 ? 1.0 : double(sum_configs);
+    const double bytes = double(sum_bytes) / configs;
+    const double model = double(sum_model_bytes) / configs;
+    state.counters["peak_configs"] = double(peak_configs);
+    state.counters["peak_footprint_bytes"] = double(peak_total_bytes);
+    state.counters["opset_elems_per_config"] = double(sum_elems) / configs;
+    state.counters["opset_bytes_per_config"] = bytes;
+    state.counters["smallvec_bytes_per_config"] = model;
+    state.counters["compression_x"] = bytes == 0 ? 0.0 : model / bytes;
+  }
+};
+
+// Straggler-cohort queue history: processes 0..w-1 enqueue distinct values
+// at seq 0 and never hear back.  Each enqueue is chased immediately by a
+// dequeue that observes its value — the queue is empty at that point, so the
+// observation forces the straggler linearized (with value kTrue) in every
+// surviving configuration, where it stays, as one w-wide seq-major run, for
+// the whole stream that follows.  Forcing one straggler at a time keeps the
+// closure tiny (at most two unlinearized ops per round); invoking the cohort
+// up front would hand the closure w! enqueue orders.  The stream is
+// `stream_ops` further enqueue/dequeue operations on two fresh processes, so
+// the frontier stays narrow while every configuration drags the cohort
+// along.
+History make_straggler_queue_history(size_t w, size_t stream_ops) {
+  History h;
+  const Value base = 1000;
+  uint32_t dseq = 0;
+  const ProcId drain = static_cast<ProcId>(w);
+  for (size_t p = 0; p < w; ++p) {
+    h.push_back(Event::inv(OpDesc{OpId{static_cast<ProcId>(p), 0},
+                                  Method::kEnqueue,
+                                  base + static_cast<Value>(p)}));
+    OpDesc d{OpId{drain, dseq++}, Method::kDequeue};
+    h.push_back(Event::inv(d));
+    h.push_back(Event::res(d, base + static_cast<Value>(p)));
+  }
+  const ProcId enq = static_cast<ProcId>(w + 1);
+  const ProcId deq = static_cast<ProcId>(w + 2);
+  uint32_t eseq = 0, qseq = 0;
+  Value v = base + static_cast<Value>(w);
+  for (size_t i = 0; i + 1 < stream_ops; i += 2) {
+    OpDesc e{OpId{enq, eseq++}, Method::kEnqueue, v};
+    OpDesc d{OpId{deq, qseq++}, Method::kDequeue};
+    h.push_back(Event::inv(e));
+    h.push_back(Event::res(e, kTrue));
+    h.push_back(Event::inv(d));
+    h.push_back(Event::res(d, v));
+    ++v;
+  }
+  return h;
+}
+
+void BM_FrontierMemoryLinStragglers(benchmark::State& state) {
+  const size_t w = static_cast<size_t>(state.range(0));
+  const size_t stream_ops = size_t{1} << state.range(1);
+  auto spec = make_queue_spec();
+  History h = make_straggler_queue_history(w, stream_ops);
+  FootprintProbe probe;
+  for (auto _ : state) {
+    probe = FootprintProbe{};
+    LinMonitor m(*spec);
+    for (const Event& e : h) {
+      m.feed(e);
+      if (e.is_res()) probe.poll(m.footprint());
+    }
+    if (!m.ok()) {
+      state.SkipWithError("straggler history rejected");
+      return;
+    }
+  }
+  probe.publish(state);
+  state.SetLabel("stragglers=" + std::to_string(w) +
+                 "/ops=" + std::to_string(stream_ops + 2 * w));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * h.size()));
+}
+
+// w ∈ {12, 16} spills the flat SmallVec<.., 8> model onto the heap; the
+// 2^14-op streams are the "long workload" of the facet's acceptance bar.
+BENCHMARK(BM_FrontierMemoryLinStragglers)
+    ->ArgsProduct({{12, 16}, {14}})
+    ->Unit(benchmark::kMillisecond);
+
+// Lockstep write-snapshot history for the interval engine: processes enter
+// in cohorts of `group`, every member of a cohort seeing the same view (all
+// previous cohorts plus the whole cohort) — the interval-sequential shape
+// where a cohort enters the machine as one I-set.  Mid-round, the cohort
+// sits in IConfig::machine_open as one contiguous seq-major run.  Pending
+// machine-open ops cannot persist across rounds here: the closure's
+// speculative machine-respond move would fork a configuration per candidate
+// respond point, so — unlike the lin workload above — the interval cohorts
+// retire each round and the history is bounded by the one-shot task's
+// n <= 64.  The lin benchmark carries the long-workload criterion.
+History make_lockstep_ws_history(size_t n, size_t group) {
+  History h;
+  auto ws = [](size_t p) {
+    return OpDesc{OpId{static_cast<ProcId>(p), 0}, Method::kWriteSnap, 1};
+  };
+  uint64_t entered = 0;
+  for (size_t lo = 0; lo < n; lo += group) {
+    const size_t hi = std::min(n, lo + group);
+    for (size_t p = lo; p < hi; ++p) {
+      h.push_back(Event::inv(ws(p)));
+      entered |= uint64_t{1} << p;
+    }
+    for (size_t p = lo; p < hi; ++p) {
+      h.push_back(Event::res(ws(p), static_cast<Value>(entered)));
+    }
+  }
+  return h;
+}
+
+void BM_FrontierMemoryIntervalLockstep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t group = static_cast<size_t>(state.range(1));
+  auto spec = make_write_snapshot_interval_spec();
+  History h = make_lockstep_ws_history(n, group);
+  FootprintProbe probe;
+  for (auto _ : state) {
+    probe = FootprintProbe{};
+    IntervalLinMonitor m(*spec);
+    for (const Event& e : h) {
+      m.feed(e);
+      if (e.is_res()) probe.poll(m.footprint());
+    }
+    if (!m.ok()) {
+      state.SkipWithError("lockstep write-snapshot history rejected");
+      return;
+    }
+  }
+  probe.publish(state);
+  state.SetLabel("procs=" + std::to_string(n) +
+                 "/group=" + std::to_string(group));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * h.size()));
+}
+
+// Cohorts beyond ~5 overflow the closure: the speculative respond move
+// forks a configuration per (entry mask, assign point) pair, the
+// NP-hardness lever of the concurrency window.
+BENCHMARK(BM_FrontierMemoryIntervalLockstep)
+    ->Args({64, 5})
+    ->Args({64, 3})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -200,7 +200,41 @@ class FrontierEngine {
     return s;
   }
 
+  /// Order-independent digest of the live frontier: XOR of the mixed
+  /// fingerprint of every configuration.  The frontier is a fixpoint, so
+  /// the digest is identical across execution modes and — because the
+  /// fingerprints are representation-independent — across op-set storage
+  /// layouts (tests/engine_parity_test.cpp asserts both).
+  uint64_t frontier_digest() const {
+    uint64_t d = 0;
+    for_each_config(
+        [&d](const Config& c) { d ^= fph::mix(c.fingerprint()); });
+    return d;
+  }
+
+  /// Walks every live configuration, so it is deliberately not folded into
+  /// stats() (which the auto-tuner reads every window).
+  FrontierFootprint footprint() const {
+    FrontierFootprint f;
+    for_each_config([&f](const Config& c) {
+      ++f.configs;
+      f.opset_elems += c.opset_elems();
+      f.opset_bytes += c.opset_bytes();
+      f.opset_smallvec_bytes += c.opset_smallvec_bytes();
+    });
+    return f;
+  }
+
  private:
+  template <typename Fn>
+  void for_each_config(Fn&& fn) const {
+    if (parallel_active_) {
+      shards_->for_each(fn);
+    } else {
+      for (const Config& c : frontier_) fn(c);
+    }
+  }
+
   static void accumulate(EngineStats& s, const lincheck::DedupEngine& e) {
     s.dedup_probes += e.probes;
     s.dedup_hits += e.hits;

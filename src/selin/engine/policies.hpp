@@ -59,12 +59,11 @@ struct LinPolicy {
   }
 
   // Every surviving configuration must have linearized e.op with exactly the
-  // observed result; the op then leaves the linearized set.
+  // observed result; the op then leaves the linearized set.  Fused into one
+  // run search (remove_if_equals) — the filter runs once per response per
+  // closure configuration.
   bool match(Config& c, const Event& e) const {
-    const lincheck::LinearizedOp* l = c.find(e.op.id);
-    if (l == nullptr || l->assigned != e.result) return false;
-    c.remove(e.op.id);
-    return true;
+    return c.remove_if_equals(e.op.id, e.result);
   }
 };
 
@@ -78,6 +77,7 @@ struct SetLinPolicy {
     std::vector<OpDesc> cand;
     std::vector<OpDesc> batch;
     std::vector<Value> out;
+    std::vector<std::pair<uint64_t, Value>> kv;  // sorted (key, value) runs
   };
 
   const SetSeqSpec* spec;
@@ -107,18 +107,31 @@ struct SetLinPolicy {
         pool.release(std::move(next.state));
         continue;
       }
+      // The whole batch linearizes at once; union each consecutive
+      // same-value key run into the set with one range operation instead of
+      // per-op point inserts (a lockstep cohort acking uniformly is the
+      // common shape and lands as a single run).
+      sc.kv.clear();
       for (size_t b = 0; b < sc.batch.size(); ++b) {
-        next.add(sc.batch[b].id, sc.out[b]);
+        sc.kv.emplace_back(lincheck::seq_major(sc.batch[b].id), sc.out[b]);
+      }
+      std::sort(sc.kv.begin(), sc.kv.end());
+      for (size_t b = 0; b < sc.kv.size();) {
+        size_t r = b + 1;
+        while (r < sc.kv.size() && sc.kv[r].first == sc.kv[b].first + (r - b) &&
+               sc.kv[r].second == sc.kv[b].second) {
+          ++r;
+        }
+        next.linearized.add_run(sc.kv[b].first, static_cast<uint32_t>(r - b),
+                                sc.kv[b].second);
+        b = r;
       }
       emit(std::move(next));
     }
   }
 
   bool match(Config& c, const Event& e) const {
-    const lincheck::LinearizedOp* l = c.find(e.op.id);
-    if (l == nullptr || l->assigned != e.result) return false;
-    c.remove(e.op.id);
-    return true;
+    return c.remove_if_equals(e.op.id, e.result);
   }
 };
 
@@ -126,30 +139,34 @@ struct SetLinPolicy {
 // Interval-linearizability
 // ---------------------------------------------------------------------------
 
-struct AssignedOp {
-  OpId id;
-  Value v;
-};
+/// Element hash of a seq-major machine-open key: un-swapped back to the
+/// pid-major packed id before fph::open_op, keeping the hash contract (and
+/// every fingerprint) bit-identical to the flat-vector representation.
+constexpr uint64_t open_elem(uint64_t key) {
+  return fph::open_op((key << 32) | (key >> 32));
+}
+
+/// The interval machine's open set: seq-major keys, run-length compressed
+/// with the incremental fph::open_op hash.  A write-snapshot round where
+/// every process has entered the machine is a single run.
+using OpenSet = HashedIntervalSet<open_elem>;
 
 /// A configuration of the interval machine: machine state, the operations
 /// currently open *inside* the machine, and the responses already assigned
 /// (machine-responded, awaiting the history's response event).  Deduplicated
-/// by a 64-bit fingerprint: state fingerprint XOR one Zobrist component per
-/// set-shaped member, each maintained incrementally at the mutation sites.
+/// by a 64-bit fingerprint: state fingerprint XOR one cached Zobrist
+/// component per set-shaped member, each maintained incrementally by the
+/// interval-set wrappers at the mutation sites.
 struct IConfig {
   std::unique_ptr<SeqState> state;
-  SmallVec<OpId, 8> machine_open;    // sorted by packed()
-  SmallVec<AssignedOp, 8> assigned;  // sorted by packed()
-  uint64_t open_hash = 0;  // XOR of fph::open_op over machine_open
-  uint64_t asg_hash = 0;   // XOR of fph::lin_op over assigned
+  OpenSet machine_open;          // run-length id set, seq-major keys
+  lincheck::LinSet assigned;     // run-length (key -> value) set
 
   IConfig clone() const {
     IConfig c;
     c.state = state->clone();
     c.machine_open = machine_open;
     c.assigned = assigned;
-    c.open_hash = open_hash;
-    c.asg_hash = asg_hash;
     return c;
   }
 
@@ -158,74 +175,88 @@ struct IConfig {
     c.state = pool.acquire(*state);
     c.machine_open = machine_open;
     c.assigned = assigned;
-    c.open_hash = open_hash;
-    c.asg_hash = asg_hash;
     return c;
   }
 
   uint64_t fingerprint() const {
-    return state->fingerprint() ^ open_hash ^ asg_hash;
+    return state->fingerprint() ^ machine_open.hash() ^ assigned.hash();
   }
 
-  /// Canonical key (ground truth; audit + diagnostics only).
+  /// Canonical key (ground truth; audit + diagnostics only).  Deterministic
+  /// and injective; both sets stream in seq-major key order.
   std::string key() const {
     std::ostringstream os;
     os << state->encode() << "|";
-    for (OpId id : machine_open) os << id.pid << "." << id.seq << ",";
+    machine_open.for_each([&os](uint64_t k) {
+      OpId id = lincheck::id_of_key(k);
+      os << id.pid << "." << id.seq << ",";
+    });
     os << "|";
-    for (const auto& [id, v] : assigned) {
+    assigned.for_each([&os](uint64_t k, Value v) {
+      OpId id = lincheck::id_of_key(k);
       os << id.pid << "." << id.seq << "=" << v << ";";
-    }
+    });
     return os.str();
   }
 
   bool is_machine_open(OpId id) const {
-    return std::binary_search(
-        machine_open.begin(), machine_open.end(), id,
-        [](OpId a, OpId b) { return a.packed() < b.packed(); });
+    return machine_open.contains(lincheck::seq_major(id));
   }
 
   void machine_invoke(OpId id) {
-    auto it = std::upper_bound(
-        machine_open.begin(), machine_open.end(), id,
-        [](OpId a, OpId b) { return a.packed() < b.packed(); });
-    machine_open.insert_at(static_cast<size_t>(it - machine_open.begin()), id);
-    open_hash ^= fph::open_op(id.packed());
+    machine_open.insert(lincheck::seq_major(id));
+  }
+
+  /// Machine-invoke a whole batch, unioning each consecutive key run in one
+  /// range operation (`keys` is mutated scratch; typically the batch is a
+  /// lockstep cohort and lands as a single run).
+  void machine_invoke_batch(std::vector<uint64_t>& keys) {
+    std::sort(keys.begin(), keys.end());
+    for (size_t b = 0; b < keys.size();) {
+      size_t r = b + 1;
+      while (r < keys.size() && keys[r] == keys[b] + (r - b)) ++r;
+      machine_open.insert_range(keys[b], r - b);
+      b = r;
+    }
   }
 
   void machine_respond(OpId id, Value v) {
-    auto it = std::upper_bound(
-        assigned.begin(), assigned.end(), id,
-        [](OpId a, const AssignedOp& b) { return a.packed() < b.id.packed(); });
-    assigned.insert_at(static_cast<size_t>(it - assigned.begin()),
-                       AssignedOp{id, v});
-    asg_hash ^= fph::lin_op(id.packed(), v);
+    assigned.add(lincheck::seq_major(id), v);
   }
 
   /// Remove `id` from both machine bookkeeping sets (the op's history
   /// response has been observed).
   void retire(OpId id) {
-    for (size_t i = 0; i < assigned.size(); ++i) {
-      if (assigned[i].id == id) {
-        asg_hash ^= fph::lin_op(id.packed(), assigned[i].v);
-        assigned.erase_at(i);
-        break;
-      }
-    }
-    for (size_t i = 0; i < machine_open.size(); ++i) {
-      if (machine_open[i] == id) {
-        open_hash ^= fph::open_op(id.packed());
-        machine_open.erase_at(i);
-        break;
-      }
-    }
+    uint64_t key = lincheck::seq_major(id);
+    assigned.remove(key);
+    machine_open.erase(key);
+  }
+
+  /// Fused response filter: iff `id` is machine-responded with exactly the
+  /// observed value, retire it from both sets.  One run search on the
+  /// assigned set (machine_respond guarantees assigned ⊆ machine_open).
+  bool retire_if_assigned(OpId id, Value expect) {
+    uint64_t key = lincheck::seq_major(id);
+    if (!assigned.remove_if_equals(key, expect)) return false;
+    machine_open.erase(key);
+    return true;
   }
 
   const Value* find_assigned(OpId id) const {
-    for (const auto& [aid, v] : assigned) {
-      if (aid == id) return &v;
-    }
-    return nullptr;
+    return assigned.find(lincheck::seq_major(id));
+  }
+
+  /// Footprint accounting for the memory facet (bench_frontier_memory).
+  size_t opset_elems() const { return machine_open.size() + assigned.size(); }
+  size_t opset_bytes() const {
+    return machine_open.resident_bytes() + assigned.resident_bytes();
+  }
+  /// What the pre-interval flat representation would occupy for these sets:
+  /// SmallVec<OpId, 8> + SmallVec<{OpId, Value}, 8> plus two hash words.
+  size_t opset_smallvec_bytes() const {
+    return small_vec_model_bytes(machine_open.size(), 8, 8) +
+           small_vec_model_bytes(assigned.size(), 8, 16) +
+           2 * sizeof(uint64_t);
   }
 };
 
@@ -234,6 +265,7 @@ struct IntervalPolicy {
   struct alignas(64) Scratch {
     std::vector<OpDesc> eligible;
     std::vector<OpDesc> batch;
+    std::vector<uint64_t> keys;  // seq-major batch keys for the range union
   };
 
   const IntervalSeqSpec* spec;
@@ -265,13 +297,17 @@ struct IntervalPolicy {
         pool.release(std::move(next.state));
         continue;
       }
-      for (const OpDesc& od : sc.batch) next.machine_invoke(od.id);
+      sc.keys.clear();
+      for (const OpDesc& od : sc.batch) {
+        sc.keys.push_back(lincheck::seq_major(od.id));
+      }
+      next.machine_invoke_batch(sc.keys);  // consecutive runs union at once
       emit(std::move(next));
     }
     // (b) machine-respond any machine-open op lacking an assignment.
     for (size_t k = 0; k < cfg().machine_open.size(); ++k) {
       const IConfig& c = cfg();  // re-fetch: the previous emit may have moved it
-      OpId id = c.machine_open[k];
+      OpId id = lincheck::id_of_key(c.machine_open.nth(k));
       if (c.find_assigned(id) != nullptr) continue;
       const OpDesc* od = find_open(open, id);
       if (od == nullptr) continue;  // already history-responded earlier
@@ -282,12 +318,9 @@ struct IntervalPolicy {
     }
   }
 
+  // The op leaves the machine and the history bookkeeping.
   bool match(IConfig& c, const Event& e) const {
-    const Value* v = c.find_assigned(e.op.id);
-    if (v == nullptr || *v != e.result) return false;
-    // The op leaves the machine and the history bookkeeping.
-    c.retire(e.op.id);
-    return true;
+    return c.retire_if_assigned(e.op.id, e.result);
   }
 
  private:

@@ -77,4 +77,16 @@ struct EngineStats {
   uint64_t tuner_updates = 0;    ///< AutoTuner windows that changed a knob
 };
 
+/// Aggregate op-set footprint of a live frontier (bench_frontier_memory).
+/// `opset_bytes` is what the run-length sets actually occupy;
+/// `opset_smallvec_bytes` is what the flat SmallVec representation they
+/// replaced would occupy for the same contents (small_vec_model_bytes in
+/// util/interval_set.hpp).
+struct FrontierFootprint {
+  size_t configs = 0;
+  size_t opset_elems = 0;
+  size_t opset_bytes = 0;
+  size_t opset_smallvec_bytes = 0;
+};
+
 }  // namespace selin::engine

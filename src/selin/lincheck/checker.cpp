@@ -40,6 +40,12 @@ bool LinMonitor::ok() const { return impl_->eng.ok(); }
 bool LinMonitor::overflowed() const { return impl_->eng.overflowed(); }
 size_t LinMonitor::frontier_size() const { return impl_->eng.frontier_size(); }
 engine::EngineStats LinMonitor::stats() const { return impl_->eng.stats(); }
+uint64_t LinMonitor::frontier_digest() const {
+  return impl_->eng.frontier_digest();
+}
+engine::FrontierFootprint LinMonitor::footprint() const {
+  return impl_->eng.footprint();
+}
 
 std::unique_ptr<MembershipMonitor> LinMonitor::clone() const {
   return std::make_unique<LinMonitor>(*this);
@@ -144,9 +150,9 @@ struct DfsCtx {
           stack.push_back(std::move(child));
           continue;
         }
-        const lincheck::LinearizedOp* l = f.c.find(e.op.id);
-        if (l != nullptr) {
-          if (l->assigned != e.result) {
+        const Value* assigned = f.c.find(e.op.id);
+        if (assigned != nullptr) {
+          if (*assigned != e.result) {
             pop_failed();
             continue;
           }

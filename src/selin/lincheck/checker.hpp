@@ -88,6 +88,14 @@ class LinMonitor final : public MembershipMonitor {
   /// Execution counters of the underlying engine (see engine/stats.hpp).
   engine::EngineStats stats() const;
 
+  /// Order-independent digest of the live frontier (XOR of mixed config
+  /// fingerprints) — representation/mode parity checks.
+  uint64_t frontier_digest() const;
+
+  /// Op-set footprint of the live frontier (bench_frontier_memory); walks
+  /// every configuration, so poll sparingly.
+  engine::FrontierFootprint footprint() const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

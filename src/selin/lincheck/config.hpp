@@ -8,6 +8,16 @@
 // Zobrist hash of the linearized-op set — see util/hash.hpp for the collision
 // discipline).  key() remains the ground truth and backs the debug-mode
 // collision audit.
+//
+// Representation: the linearized set is a run-length ValueRunSet
+// (util/interval_set.hpp) keyed *seq-major* — seq in the high word, pid in
+// the low word.  Concurrently pending ops live on distinct processes, so
+// pid-major packed ids never sit adjacent; under seq-major keys a lockstep
+// cohort (same seq, dense pids) is one contiguous run, and a run whose ops
+// were assigned the same value (e.g. a cohort of enqueue acks) costs one
+// 24-byte entry regardless of its width.  The element hash still feeds
+// fph::lin_op the *pid-major* packed id, so every fingerprint is bit-
+// identical to the flat-vector representation this replaced.
 #pragma once
 
 #include <algorithm>
@@ -22,6 +32,7 @@
 #include "selin/util/arena.hpp"
 #include "selin/util/fp_set.hpp"
 #include "selin/util/hash.hpp"
+#include "selin/util/interval_set.hpp"
 #include "selin/util/small_vec.hpp"
 
 // Fingerprint collision audit: every dedup probe is cross-checked against
@@ -37,14 +48,31 @@
 
 namespace selin::lincheck {
 
-struct LinearizedOp {
-  OpId id;
-  Value assigned;
+/// Seq-major storage key of an op id: seq in the high word, pid in the low
+/// word.  An involution of OpId::packed() (swapping the halves twice is the
+/// identity), so the pid-major id is recovered with the same swap.
+constexpr uint64_t seq_major(OpId id) {
+  uint64_t p = id.packed();
+  return (p << 32) | (p >> 32);
+}
 
-  friend bool operator<(const LinearizedOp& a, const LinearizedOp& b) {
-    return a.id < b.id;
-  }
-};
+/// Inverse of seq_major: the storage key back to the op id.
+constexpr OpId id_of_key(uint64_t key) {
+  return OpId{static_cast<ProcId>(key & 0xFFFFFFFFull),
+              static_cast<uint32_t>(key >> 32)};
+}
+
+/// Element hash of a (seq-major key, assigned value) entry: un-swaps the key
+/// so fph::lin_op sees the same pid-major packed id as always — the hash
+/// contract (and with it every fingerprint, dedup table, and checkpoint) is
+/// bit-identical to the flat sorted-vector representation.
+constexpr uint64_t lin_elem(uint64_t key, Value assigned) {
+  return fph::lin_op((key << 32) | (key >> 32), assigned);
+}
+
+/// The linearized-but-unresponded op set: seq-major keys -> assigned values,
+/// run-length compressed with the incremental fph::lin_op hash.
+using LinSet = ValueRunSet<lin_elem>;
 
 /// Recycler for SeqState clones.  Configurations are created and discarded
 /// in bulk during closure expansion; pooling the discarded states and
@@ -88,14 +116,12 @@ class StatePool {
 
 struct Config {
   std::unique_ptr<SeqState> state;
-  SmallVec<LinearizedOp, 8> linearized;  // kept sorted by OpId
-  uint64_t lin_hash = 0;  // XOR of fph::lin_op over `linearized`
+  LinSet linearized;  // run-length (seq-major key -> assigned) set
 
   Config clone() const {
     Config c;
     c.state = state->clone();
     c.linearized = linearized;
-    c.lin_hash = lin_hash;
     return c;
   }
 
@@ -104,45 +130,50 @@ struct Config {
     Config c;
     c.state = pool.acquire(*state);
     c.linearized = linearized;
-    c.lin_hash = lin_hash;
     return c;
   }
 
   /// 64-bit deduplication fingerprint; equal keys have equal fingerprints.
-  uint64_t fingerprint() const { return state->fingerprint() ^ lin_hash; }
+  /// The linearized component is the cached incremental Zobrist hash — no
+  /// walk over ids.
+  uint64_t fingerprint() const {
+    return state->fingerprint() ^ linearized.hash();
+  }
 
   /// Canonical deduplication key (ground truth; audit + diagnostics only).
+  /// Deterministic and injective per configuration; entries stream in
+  /// seq-major key order.
   std::string key() const {
     std::ostringstream os;
     os << state->encode() << "|";
-    for (const LinearizedOp& l : linearized) {
-      os << l.id.pid << "." << l.id.seq << "=" << l.assigned << ";";
-    }
+    linearized.for_each([&os](uint64_t k, Value v) {
+      OpId id = id_of_key(k);
+      os << id.pid << "." << id.seq << "=" << v << ";";
+    });
     return os.str();
   }
 
-  const LinearizedOp* find(OpId id) const {
-    auto it = std::lower_bound(linearized.begin(), linearized.end(),
-                               LinearizedOp{id, 0});
-    if (it != linearized.end() && it->id == id) return &*it;
-    return nullptr;
+  /// The value assigned to `id` when it linearized, or nullptr (valid until
+  /// the next mutation).
+  const Value* find(OpId id) const { return linearized.find(seq_major(id)); }
+
+  void add(OpId id, Value assigned) { linearized.add(seq_major(id), assigned); }
+
+  void remove(OpId id) { linearized.remove(seq_major(id)); }
+
+  /// Fused response filter: removes `id` iff present with exactly the
+  /// observed value — one run search instead of find-then-remove.
+  bool remove_if_equals(OpId id, Value expect) {
+    return linearized.remove_if_equals(seq_major(id), expect);
   }
 
-  void add(OpId id, Value assigned) {
-    auto it = std::lower_bound(linearized.begin(), linearized.end(),
-                               LinearizedOp{id, 0});
-    linearized.insert_at(static_cast<size_t>(it - linearized.begin()),
-                         LinearizedOp{id, assigned});
-    lin_hash ^= fph::lin_op(id.packed(), assigned);
-  }
-
-  void remove(OpId id) {
-    auto it = std::lower_bound(linearized.begin(), linearized.end(),
-                               LinearizedOp{id, 0});
-    if (it != linearized.end() && it->id == id) {
-      lin_hash ^= fph::lin_op(id.packed(), it->assigned);
-      linearized.erase_at(static_cast<size_t>(it - linearized.begin()));
-    }
+  /// Footprint accounting for the memory facet (bench_frontier_memory).
+  size_t opset_elems() const { return linearized.size(); }
+  size_t opset_bytes() const { return linearized.resident_bytes(); }
+  /// What the pre-interval flat representation would occupy for these sets:
+  /// SmallVec<{OpId, Value}, 8> plus the standalone hash word.
+  size_t opset_smallvec_bytes() const {
+    return small_vec_model_bytes(linearized.size(), 8, 16) + sizeof(uint64_t);
   }
 };
 

@@ -45,6 +45,12 @@ size_t IntervalLinMonitor::frontier_size() const {
 engine::EngineStats IntervalLinMonitor::stats() const {
   return impl_->eng.stats();
 }
+uint64_t IntervalLinMonitor::frontier_digest() const {
+  return impl_->eng.frontier_digest();
+}
+engine::FrontierFootprint IntervalLinMonitor::footprint() const {
+  return impl_->eng.footprint();
+}
 
 std::unique_ptr<MembershipMonitor> IntervalLinMonitor::clone() const {
   return std::make_unique<IntervalLinMonitor>(*this);

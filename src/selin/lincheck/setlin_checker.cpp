@@ -38,6 +38,12 @@ size_t SetLinMonitor::frontier_size() const {
   return impl_->eng.frontier_size();
 }
 engine::EngineStats SetLinMonitor::stats() const { return impl_->eng.stats(); }
+uint64_t SetLinMonitor::frontier_digest() const {
+  return impl_->eng.frontier_digest();
+}
+engine::FrontierFootprint SetLinMonitor::footprint() const {
+  return impl_->eng.footprint();
+}
 
 std::unique_ptr<MembershipMonitor> SetLinMonitor::clone() const {
   return std::make_unique<SetLinMonitor>(*this);

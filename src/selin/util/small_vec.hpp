@@ -75,6 +75,11 @@ class SmallVec {
     --size_;
   }
 
+  /// Bytes held on the heap (0 while inline) — memory-footprint accounting.
+  size_t heap_bytes() const {
+    return data_ == inline_buf() ? 0 : cap_ * sizeof(T);
+  }
+
  private:
   void assign(const SmallVec& o) {
     if (o.size_ > cap_) grow(o.size_);
@@ -114,6 +119,7 @@ class SmallVec {
   }
 
   T* inline_buf() { return reinterpret_cast<T*>(storage_); }
+  const T* inline_buf() const { return reinterpret_cast<const T*>(storage_); }
 
   alignas(T) unsigned char storage_[N * sizeof(T)];
   T* data_ = inline_buf();

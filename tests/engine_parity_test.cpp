@@ -8,9 +8,11 @@
 // are fixpoints — independent of how and where work is split — so this
 // suite asserts, for every concrete spec:
 //
-//  * per-event verdicts and frontier sizes are bit-identical across
-//    threads ∈ {1, 2, auto(2), auto}, on accepting and rejecting
-//    histories;
+//  * per-event verdicts, frontier sizes, and frontier digests (the XOR of
+//    mixed configuration fingerprints — representation-independent, so it
+//    also pins the run-length op-set storage to the flat representation's
+//    hash contract) are bit-identical across threads ∈ {1, 2, auto(2),
+//    auto}, on accepting and rejecting histories;
 //  * final verdicts agree with the brute-force oracle on small histories;
 //  * the overflow and feed-boundary-exception paths behave identically in
 //    every mode (CheckerOverflow thrown, sticky overflowed(), frontier
@@ -59,12 +61,18 @@ bool expect_mode_parity(MakeMonitor&& make, const History& h,
       others[m].feed(h[i]);
       bool ok_eq = ref.ok() == others[m].ok();
       bool fs_eq = ref.frontier_size() == others[m].frontier_size();
+      bool dg_eq = ref.frontier_digest() == others[m].frontier_digest();
       EXPECT_TRUE(ok_eq) << label << " mode " << m << " event " << i
                          << ": ok " << ref.ok() << " vs " << others[m].ok();
       EXPECT_TRUE(fs_eq) << label << " mode " << m << " event " << i
                          << ": frontier " << ref.frontier_size() << " vs "
                          << others[m].frontier_size();
-      if (!ok_eq || !fs_eq) return ref.ok();  // don't spam per-event failures
+      EXPECT_TRUE(dg_eq) << label << " mode " << m << " event " << i
+                         << ": digest " << ref.frontier_digest() << " vs "
+                         << others[m].frontier_digest();
+      if (!ok_eq || !fs_eq || !dg_eq) {
+        return ref.ok();  // don't spam per-event failures
+      }
     }
   }
   return ref.ok();
@@ -158,6 +166,9 @@ void expect_batch_parity(MakeMonitor&& make, const History& h, size_t chunk,
         << label << " chunk " << chunk << " mode " << mode << " events ["
         << i << ", " << i + n << ")";
     ASSERT_EQ(ref.frontier_size(), batched.frontier_size())
+        << label << " chunk " << chunk << " mode " << mode << " events ["
+        << i << ", " << i + n << ")";
+    ASSERT_EQ(ref.frontier_digest(), batched.frontier_digest())
         << label << " chunk " << chunk << " mode " << mode << " events ["
         << i << ", " << i + n << ")";
   }

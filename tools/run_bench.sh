@@ -3,7 +3,20 @@
 # and folds the results into BENCH_lincheck.json at the repo root, so the
 # perf trajectory is tracked PR over PR.
 #
-# Usage: tools/run_bench.sh [build-dir] [--facet all|parallel_scaling|leveled_replay|multi_session]
+# Usage: tools/run_bench.sh [build-dir] \
+#            [--facet all|parallel_scaling|leveled_replay|multi_session|frontier_memory] \
+#            [--allow-non-release]
+#
+# Recorded numbers are only comparable between optimized builds, so the
+# script configures/builds the bench binaries itself with
+# CMAKE_BUILD_TYPE=Release and refuses to record from any other build type
+# unless --allow-non-release is given (which tags every touched facet with
+# "non_release_run": true so the gate and readers can discount it).  The
+# system libbenchmark is a Debian debug build and self-reports
+# library_build_type=debug regardless of how *our* code was compiled; the
+# recorded library_build_type is therefore taken from the bench binaries'
+# CMAKE_BUILD_TYPE (the thing being measured) and the library's own value is
+# kept as benchmark_library_build_type.
 #
 # --facet parallel_scaling re-runs only BM_ParallelFrontierScaling and
 # replaces just the `parallel_scaling` facet of BENCH_lincheck.json, leaving
@@ -14,7 +27,9 @@
 # for the leveled checker's rollback-storm facet (bench_leveled_replay), and
 # --facet multi_session for the multi-tenant service sweep
 # (bench_multi_session: sessions x shared-executor lanes, aggregate
-# events/sec).
+# events/sec), and --facet frontier_memory for the op-set footprint facet
+# (bench_frontier_memory: peak live configs x mean per-config op-set bytes
+# on long ragged histories).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -22,12 +37,17 @@ out="$repo_root/BENCH_lincheck.json"
 
 facet="all"
 build_dir="$repo_root/build"
+allow_non_release=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --facet)
       [[ $# -ge 2 ]] || { echo "error: --facet needs a value" >&2; exit 2; }
       facet="$2"
       shift 2
+      ;;
+    --allow-non-release)
+      allow_non_release=1
+      shift
       ;;
     --*)
       echo "error: unknown flag $1" >&2
@@ -40,12 +60,32 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 case "$facet" in
-  all|parallel_scaling|leveled_replay|multi_session) ;;
-  *) echo "error: unknown facet '$facet' (all | parallel_scaling | leveled_replay | multi_session)" >&2; exit 2 ;;
+  all|parallel_scaling|leveled_replay|multi_session|frontier_memory) ;;
+  *) echo "error: unknown facet '$facet' (all | parallel_scaling | leveled_replay | multi_session | frontier_memory)" >&2; exit 2 ;;
 esac
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+
+# Release discipline: configure the build dir ourselves when it doesn't
+# exist, always (re)build the bench binaries, and refuse to record numbers
+# from a non-Release build unless explicitly overridden.
+if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+fi
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")"
+if [[ "$build_type" != "Release" ]]; then
+  if [[ $allow_non_release -eq 0 ]]; then
+    echo "error: $build_dir is CMAKE_BUILD_TYPE='$build_type', not Release;" >&2
+    echo "       refusing to record non-comparable numbers" >&2
+    echo "       (re-run with --allow-non-release to record them tagged)" >&2
+    exit 1
+  fi
+  echo "WARNING: recording from a '$build_type' build; facets will carry" >&2
+  echo "         non_release_run=true and must not be used as a baseline" >&2
+fi
+cmake --build "$build_dir" -j"$(nproc)"
+export SELIN_BENCH_BUILD_TYPE="$build_type"
 
 if [[ ! -x "$build_dir/bench_lincheck" ]]; then
   echo "error: benchmarks not built in $build_dir (cmake -B build -S . && cmake --build build -j)" >&2
@@ -70,6 +110,13 @@ elif [[ "$facet" == "multi_session" ]]; then
   fi
   "$build_dir/bench_multi_session" \
       --benchmark_out="$tmp/multi_session.json" --benchmark_out_format=json
+elif [[ "$facet" == "frontier_memory" ]]; then
+  if [[ ! -x "$build_dir/bench_frontier_memory" ]]; then
+    echo "error: bench_frontier_memory not built in $build_dir" >&2
+    exit 1
+  fi
+  "$build_dir/bench_frontier_memory" \
+      --benchmark_out="$tmp/frontier_memory.json" --benchmark_out_format=json
 else
   if [[ ! -x "$build_dir/bench_detection" ]]; then
     echo "error: benchmarks not built in $build_dir (cmake -B build -S . && cmake --build build -j)" >&2
@@ -87,22 +134,37 @@ else
     "$build_dir/bench_multi_session" \
         --benchmark_out="$tmp/multi_session.json" --benchmark_out_format=json
   fi
+  if [[ -x "$build_dir/bench_frontier_memory" ]]; then
+    "$build_dir/bench_frontier_memory" \
+        --benchmark_out="$tmp/frontier_memory.json" --benchmark_out_format=json
+  fi
 fi
 
-python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$tmp/leveled.json" "$tmp/multi_session.json" "$out" <<'EOF'
-import json, sys
+python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$tmp/leveled.json" "$tmp/multi_session.json" "$tmp/frontier_memory.json" "$out" <<'EOF'
+import json, os, sys
 
-mode, lincheck, detection, leveled, multi_session, out = sys.argv[1:7]
+(mode, lincheck, detection, leveled, multi_session, frontier_memory,
+ out) = sys.argv[1:8]
+
+# The build type of the *bench binaries* (what run_bench.sh just built and
+# measured); the benchmark library's own build type is recorded separately
+# because the Debian package is a debug build and says so forever.
+BUILD_TYPE = os.environ.get("SELIN_BENCH_BUILD_TYPE", "unknown").lower()
+
+def tag_non_release(d):
+    if BUILD_TYPE != "release":
+        d["non_release_run"] = True
+    return d
 
 def load(path):
     with open(path) as f:
         data = json.load(f)
-    return {
-        "context": {k: data["context"].get(k)
-                    for k in ("date", "host_name", "num_cpus", "mhz_per_cpu",
-                              "library_build_type")},
-        "benchmarks": data["benchmarks"],
-    }
+    ctx = {k: data["context"].get(k)
+           for k in ("date", "host_name", "num_cpus", "mhz_per_cpu")}
+    ctx["library_build_type"] = BUILD_TYPE
+    ctx["benchmark_library_build_type"] = \
+        data["context"].get("library_build_type")
+    return tag_non_release({"context": ctx, "benchmarks": data["benchmarks"]})
 
 def parallel_scaling_facet(run):
     """Verified-op throughput of the sharded frontier engine by shard count
@@ -197,8 +259,52 @@ def multi_session_facet(run):
         "batched_feed_events_per_second": batch or None,
     }
 
+def frontier_memory_facet(run):
+    """Op-set footprint of the frontier engine on long ragged histories
+    (bench_frontier_memory): peak live configs, mean per-config op-set bytes
+    under the interval-run representation, the bytes the flat SmallVec
+    representation would occupy for the same sets, and their ratio
+    (compression_x).  Single-threaded and deterministic, but excluded from
+    the regression gate (tools/bench_gate.py) until two recordings exist."""
+    rows = {}
+    for b in run["benchmarks"]:
+        name = b.get("name", "")
+        if b.get("run_type") == "aggregate":
+            continue
+        if not name.startswith("BM_FrontierMemory"):
+            continue
+        keep = ("peak_configs", "opset_bytes_per_config",
+                "smallvec_bytes_per_config", "compression_x",
+                "peak_footprint_bytes", "opset_elems_per_config")
+        rows[name] = {k: b[k] for k in keep if k in b}
+    if not rows:
+        return None
+    return tag_non_release({
+        "workload": "long ragged histories (>= 2^14 ops; straggler cohorts "
+                    "keep wide pending windows alive): peak live configs x "
+                    "mean per-config op-set bytes",
+        "library_build_type": BUILD_TYPE,
+        "per_workload": rows,
+    })
+
 # The single-binary facet modes run one bench alone, so no lincheck.json
 # exists to load — handle them before touching the other runs.
+if mode == "frontier_memory":
+    with open(frontier_memory) as f:
+        facet = frontier_memory_facet(json.load(f))
+    if facet is None:
+        sys.exit("error: no BM_FrontierMemory results in this run")
+    try:
+        with open(out) as f:
+            result = json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        sys.exit(f"error: {out} missing or unreadable; run the full suite first")
+    result["frontier_memory"] = facet
+    with open(out, "w") as f:
+        json.dump(result, f, indent=1)
+    print(f"updated frontier_memory facet of {out}")
+    sys.exit(0)
+
 if mode == "multi_session":
     facet = multi_session_facet(load(multi_session))
     if facet is None:
@@ -261,6 +367,13 @@ except FileNotFoundError:
     session_facet = None
 if session_facet is not None:
     result["multi_session"] = session_facet
+try:
+    with open(frontier_memory) as f:
+        memory_facet = frontier_memory_facet(json.load(f))
+except FileNotFoundError:
+    memory_facet = None
+if memory_facet is not None:
+    result["frontier_memory"] = memory_facet
 
 # Preserve facets recorded by earlier PRs/other hosts when this run did not
 # produce them (baseline_string_key is PR 1's string-key engine baseline;
@@ -269,7 +382,7 @@ try:
     with open(out) as f:
         prev = json.load(f)
     for key in ("baseline_string_key", "leveled_replay", "parallel_scaling",
-                "multi_session"):
+                "multi_session", "frontier_memory"):
         if key in prev and key not in result:
             result[key] = prev[key]
 except (FileNotFoundError, json.JSONDecodeError):
