@@ -62,6 +62,7 @@
 
 #include "selin/engine/auto_tuner.hpp"
 #include "selin/engine/stats.hpp"
+#include "selin/obs/hooks.hpp"
 #include "selin/parallel/sharded_frontier.hpp"
 
 namespace selin::engine {
@@ -127,7 +128,7 @@ class FrontierEngine {
       : policy_(o.policy_), max_configs_(o.max_configs_), exec_(o.exec_),
         lanes_(o.lanes_), adaptive_(o.adaptive_), ok_(o.ok_),
         overflowed_(o.overflowed_), engage_(o.engage_), retreat_(o.retreat_),
-        open_(o.open_), base_stats_(o.stats()) {
+        obs_(o.obs_), open_(o.open_), base_stats_(o.stats()) {
     if (o.tuner_ != nullptr) tuner_ = std::make_unique<AutoTuner>(*o.tuner_);
     // The clone's window starts empty; anchor the dedup-delta snapshots at
     // the inherited totals so its first tick sees only its own probes.
@@ -178,6 +179,14 @@ class FrontierEngine {
 
   bool ok() const { return ok_; }
   bool overflowed() const { return overflowed_; }
+
+  /// Attach observability instruments (obs/hooks.hpp; nullptr detaches).
+  /// The bundle (and everything it points at) must outlive the engine or a
+  /// later set_obs(nullptr).  When detached — the default — the hot path
+  /// pays exactly one pointer test per closure round; clones inherit the
+  /// attachment, so replay monitors forked from an instrumented one report
+  /// into the same instruments.
+  void set_obs(const obs::EngineHooks* hooks) { obs_ = hooks; }
 
   size_t frontier_size() const {
     return parallel_active_ ? shards_->size() : frontier_.size();
@@ -287,6 +296,9 @@ class FrontierEngine {
     last_probes_ = totals.dedup_probes;
     last_hits_ = totals.dedup_hits;
     if (tuner_->tick(window_)) {
+      const size_t engage_before = engage_;
+      const size_t retreat_before = retreat_;
+      const size_t lanes_before = lanes_;
       engage_ = tuner_->engage();
       retreat_ = tuner_->retreat();
       if (!parallel_active_ && tuner_->lanes() != lanes_) {
@@ -303,8 +315,41 @@ class FrontierEngine {
         scratch_.clear();
         scratch_.resize(lanes_);
       }
+      if (obs_ != nullptr && obs_->trace != nullptr) {
+        obs::TraceEvent ev;
+        ev.kind = obs::SpanKind::kTunerDecision;
+        ev.session = obs_->session;
+        ev.start_ns = obs::now_ns();
+        ev.p0 = engage_before;
+        ev.p1 = engage_;
+        ev.p2 = retreat_before;
+        ev.p3 = retreat_;
+        ev.p4 = lanes_before;
+        ev.p5 = lanes_;
+        obs_->trace->record(ev);
+      }
     }
     window_.clear();
+  }
+
+  /// Post-round observability (only reached with hooks attached): the round
+  /// latency histogram for the mode that ran, and the kFeedRound span.
+  void observe_round(bool par, uint64_t t0, size_t run_len) {
+    const uint64_t dur = obs::now_ns() - t0;
+    obs::Histogram* h = par ? obs_->round_ns_par : obs_->round_ns_seq;
+    if (h != nullptr) h->record(dur);
+    if (obs_->trace != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::SpanKind::kFeedRound;
+      ev.session = obs_->session;
+      ev.start_ns = t0;
+      ev.dur_ns = dur;
+      ev.p0 = par ? 1 : 0;
+      ev.p1 = frontier_size();
+      ev.p2 = run_len;
+      ev.p3 = base_stats_.events_fed;
+      obs_->trace->record(ev);
+    }
   }
 
   // All configurations reachable from the frontier by any sequence of the
@@ -350,7 +395,9 @@ class FrontierEngine {
   void feed_res_run(std::span<const Event> run) {
     try {
       if (adaptive_) adapt();
-      if (parallel_active_) {
+      const bool par = parallel_active_;
+      const uint64_t t0 = obs_ != nullptr ? obs::now_ns() : 0;
+      if (par) {
         ++base_stats_.rounds_parallel;
         ++window_.rounds_parallel;
         run_res_parallel(run);
@@ -359,6 +406,7 @@ class FrontierEngine {
         ++window_.rounds_sequential;
         run_res_sequential(run);
       }
+      if (obs_ != nullptr) observe_round(par, t0, run.size());
       if (tuner_ != nullptr) tune();
     } catch (...) {
       // The half-expanded frontier no longer reflects the fed prefix.
@@ -379,6 +427,9 @@ class FrontierEngine {
     erase_open(e.op.id);
     base_stats_.peak_frontier = std::max(base_stats_.peak_frontier, width);
     window_.peak_width = std::max(window_.peak_width, width);
+    if (obs_ != nullptr && obs_->frontier_width != nullptr) {
+      obs_->frontier_width->record(width);
+    }
     if (width == 0) {
       ok_ = false;
       return false;
@@ -457,6 +508,9 @@ class FrontierEngine {
   size_t engage_ = kAutoEngageWidth;
   size_t retreat_ = kAutoRetreatWidth;
   std::unique_ptr<AutoTuner> tuner_;
+  // Borrowed instrumentation bundle (obs/hooks.hpp); null when detached, so
+  // the unobserved hot path costs one pointer test per closure round.
+  const obs::EngineHooks* obs_ = nullptr;
   TunerWindow window_;        // signal deltas since the last tuner tick
   uint64_t window_rounds_ = 0;
   uint64_t last_probes_ = 0;  // dedup totals at the last tick (for deltas)

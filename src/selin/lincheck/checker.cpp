@@ -37,6 +37,9 @@ void LinMonitor::feed_batch(std::span<const Event> events) {
   impl_->eng.feed_batch(events);
 }
 bool LinMonitor::ok() const { return impl_->eng.ok(); }
+void LinMonitor::attach_obs(const obs::EngineHooks* hooks) {
+  impl_->eng.set_obs(hooks);
+}
 bool LinMonitor::overflowed() const { return impl_->eng.overflowed(); }
 size_t LinMonitor::frontier_size() const { return impl_->eng.frontier_size(); }
 engine::EngineStats LinMonitor::stats() const { return impl_->eng.stats(); }

@@ -75,6 +75,10 @@ class LinMonitor final : public MembershipMonitor {
   bool ok() const override;
   std::unique_ptr<MembershipMonitor> clone() const override;
 
+  /// Forwarded to the underlying engine (engine::FrontierEngine::set_obs);
+  /// clones inherit the attachment.
+  void attach_obs(const obs::EngineHooks* hooks) override;
+
   /// True once a feed overflowed the exploration budget.  The overflowing
   /// feed releases every in-flight configuration and rethrows
   /// CheckerOverflow; afterwards the monitor is sticky — further feeds are

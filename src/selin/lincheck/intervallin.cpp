@@ -36,6 +36,9 @@ void IntervalLinMonitor::feed_batch(std::span<const Event> events) {
   impl_->eng.feed_batch(events);
 }
 bool IntervalLinMonitor::ok() const { return impl_->eng.ok(); }
+void IntervalLinMonitor::attach_obs(const obs::EngineHooks* hooks) {
+  impl_->eng.set_obs(hooks);
+}
 bool IntervalLinMonitor::overflowed() const {
   return impl_->eng.overflowed();
 }

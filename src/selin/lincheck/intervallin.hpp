@@ -78,6 +78,9 @@ class IntervalLinMonitor final : public MembershipMonitor {
   bool ok() const override;
   std::unique_ptr<MembershipMonitor> clone() const override;
 
+  /// Forwarded to the underlying engine; clones inherit the attachment.
+  void attach_obs(const obs::EngineHooks* hooks) override;
+
   /// Sticky overflow flag; see LinMonitor::overflowed().
   bool overflowed() const;
 

@@ -33,6 +33,9 @@ void SetLinMonitor::feed_batch(std::span<const Event> events) {
   impl_->eng.feed_batch(events);
 }
 bool SetLinMonitor::ok() const { return impl_->eng.ok(); }
+void SetLinMonitor::attach_obs(const obs::EngineHooks* hooks) {
+  impl_->eng.set_obs(hooks);
+}
 bool SetLinMonitor::overflowed() const { return impl_->eng.overflowed(); }
 size_t SetLinMonitor::frontier_size() const {
   return impl_->eng.frontier_size();

@@ -41,6 +41,9 @@ class SetLinMonitor final : public MembershipMonitor {
   bool ok() const override;
   std::unique_ptr<MembershipMonitor> clone() const override;
 
+  /// Forwarded to the underlying engine; clones inherit the attachment.
+  void attach_obs(const obs::EngineHooks* hooks) override;
+
   /// Sticky overflow flag; see LinMonitor::overflowed().
   bool overflowed() const;
 

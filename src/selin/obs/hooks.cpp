@@ -1,0 +1,53 @@
+#include "selin/obs/hooks.hpp"
+
+namespace selin::obs {
+
+namespace {
+Labels with(Labels base, std::string key, std::string value) {
+  base.emplace_back(std::move(key), std::move(value));
+  return base;
+}
+}  // namespace
+
+EngineHooks make_engine_hooks(MetricsRegistry& reg, Labels labels,
+                              TraceSink* trace, uint64_t session) {
+  EngineHooks h;
+  h.round_ns_seq =
+      &reg.histogram("engine_round_ns", with(labels, "mode", "seq"));
+  h.round_ns_par =
+      &reg.histogram("engine_round_ns", with(labels, "mode", "par"));
+  h.frontier_width = &reg.histogram("engine_frontier_width", labels);
+  h.trace = trace;
+  h.session = session;
+  return h;
+}
+
+ExecutorHooks make_executor_hooks(MetricsRegistry& reg, Labels labels,
+                                  TraceSink* trace) {
+  ExecutorHooks h;
+  h.phase_ns = &reg.histogram("exec_phase_ns", labels);
+  h.phase_slices = &reg.histogram("exec_phase_slices", labels);
+  h.slices_caller =
+      &reg.counter("exec_slices_total", with(labels, "by", "caller"));
+  h.slices_worker =
+      &reg.counter("exec_slices_total", with(labels, "by", "worker"));
+  h.posts = &reg.counter("exec_posts_total", labels);
+  h.helps = &reg.counter("exec_helps_total", labels);
+  h.trace = trace;
+  return h;
+}
+
+LeveledHooks make_leveled_hooks(MetricsRegistry& reg, Labels labels,
+                                TraceSink* trace, uint64_t session,
+                                const EngineHooks* engine) {
+  LeveledHooks h;
+  h.rollback_depth = &reg.histogram("leveled_rollback_depth", labels);
+  h.resync_ns = &reg.histogram("leveled_resync_ns", labels);
+  h.stripes_pending = &reg.gauge("leveled_stripes_pending", labels);
+  h.engine = engine;
+  h.trace = trace;
+  h.session = session;
+  return h;
+}
+
+}  // namespace selin::obs

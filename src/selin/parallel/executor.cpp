@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "selin/obs/hooks.hpp"
+
 namespace selin::parallel {
 
 namespace {
@@ -51,6 +53,8 @@ void Executor::post(std::function<void()> task) {
     epoch_.fetch_add(1, std::memory_order_release);
   }
   cv_.notify_one();
+  const obs::ExecutorHooks* obs = obs_.load(std::memory_order_acquire);
+  if (obs != nullptr && obs->posts != nullptr) obs->posts->add(1);
 }
 
 void Executor::run_slice(Phase& ph, size_t slice) {
@@ -65,8 +69,11 @@ void Executor::run_slice(Phase& ph, size_t slice) {
 
 void Executor::run_phase(size_t n, const std::function<void(size_t)>& job) {
   if (n == 0) return;
+  const obs::ExecutorHooks* obs = obs_.load(std::memory_order_acquire);
+  const uint64_t t0 = obs != nullptr ? obs::now_ns() : 0;
   if (n == 1) {
     job(0);
+    if (obs != nullptr) observe_phase(*obs, t0, 1, 1);
     return;
   }
   Phase ph;
@@ -83,10 +90,12 @@ void Executor::run_phase(size_t n, const std::function<void(size_t)>& job) {
   // Claim whatever the worker lanes have not picked up: work-conserving on
   // an idle executor, inline-degrading (and so deadlock-free when nested)
   // on a saturated one.
+  size_t caller_run = 1;  // slice 0
   for (;;) {
     size_t i = ph.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) break;
     run_slice(ph, i);
+    ++caller_run;
   }
   while (ph.done.load(std::memory_order_acquire) < n) {
     std::this_thread::yield();
@@ -96,7 +105,28 @@ void Executor::run_phase(size_t n, const std::function<void(size_t)>& job) {
     auto it = std::find(phases_.begin(), phases_.end(), &ph);
     if (it != phases_.end()) phases_.erase(it);
   }
+  // Observe before the rethrow so failed phases still show up in the trace.
+  if (obs != nullptr) observe_phase(*obs, t0, n, caller_run);
   if (ph.error != nullptr) std::rethrow_exception(ph.error);
+}
+
+void Executor::observe_phase(const obs::ExecutorHooks& h, uint64_t t0,
+                             size_t n, size_t caller_run) {
+  const uint64_t dur = obs::now_ns() - t0;
+  if (h.phase_ns != nullptr) h.phase_ns->record(dur);
+  if (h.phase_slices != nullptr) h.phase_slices->record(n);
+  if (h.slices_caller != nullptr) h.slices_caller->add(caller_run);
+  if (h.slices_worker != nullptr) h.slices_worker->add(n - caller_run);
+  if (h.trace != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::SpanKind::kExecPhase;
+    ev.start_ns = t0;
+    ev.dur_ns = dur;
+    ev.p0 = n;
+    ev.p1 = caller_run;
+    ev.p2 = n - caller_run;
+    h.trace->record(ev);
+  }
 }
 
 bool Executor::run_some() {
@@ -131,7 +161,12 @@ bool Executor::run_some() {
   return true;
 }
 
-bool Executor::help_one() { return run_some(); }
+bool Executor::help_one() {
+  if (!run_some()) return false;
+  const obs::ExecutorHooks* obs = obs_.load(std::memory_order_acquire);
+  if (obs != nullptr && obs->helps != nullptr) obs->helps->add(1);
+  return true;
+}
 
 void Executor::worker_loop() {
   uint64_t seen = 0;

@@ -56,6 +56,10 @@
 #include <thread>
 #include <vector>
 
+namespace selin::obs {
+struct ExecutorHooks;  // obs/hooks.hpp — instrumentation bundle, borrowed
+}  // namespace selin::obs
+
 namespace selin::parallel {
 
 class Executor {
@@ -87,6 +91,15 @@ class Executor {
   /// Run one pending slice or task inline; false when nothing is pending.
   bool help_one();
 
+  /// Attach observability instruments (obs/hooks.hpp; nullptr detaches).
+  /// The bundle must outlive the executor or a later set_obs(nullptr); the
+  /// pointer is read with acquire loads so attaching while worker lanes are
+  /// live is safe (lanes mid-slice may still finish under the old bundle).
+  /// Detached — the default — every entry point pays one pointer test.
+  void set_obs(const obs::ExecutorHooks* hooks) {
+    obs_.store(hooks, std::memory_order_release);
+  }
+
  private:
   /// One in-flight run_phase, stack-allocated by its caller; lives in
   /// phases_ only while it still has unclaimed slices.
@@ -100,6 +113,9 @@ class Executor {
   };
 
   void run_slice(Phase& ph, size_t slice);
+  /// Record one finished phase into `h` (metrics + kExecPhase span).
+  void observe_phase(const obs::ExecutorHooks& h, uint64_t t0, size_t n,
+                     size_t caller_run);
   void ensure_workers_locked();
   void worker_loop();
   /// Claim and run one slice or task; false when nothing was pending.
@@ -107,6 +123,7 @@ class Executor {
 
   size_t n_;
   std::atomic<size_t> spawned_{0};
+  std::atomic<const obs::ExecutorHooks*> obs_{nullptr};
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -2,13 +2,30 @@
 
 #include <algorithm>
 
+#include "selin/obs/export.hpp"
+
 namespace selin::service {
 
 Session::Session(std::string name, std::unique_ptr<SeqSpec> spec,
                  const SessionOptions& opts,
-                 std::shared_ptr<parallel::Executor> exec)
+                 std::shared_ptr<parallel::Executor> exec, uint64_t id,
+                 bool observe, obs::TraceSink* trace)
     : name_(std::move(name)), spec_(std::move(spec)),
-      monitor_(*spec_, opts.max_configs, opts.threads, std::move(exec)) {}
+      monitor_(*spec_, opts.max_configs, opts.threads, std::move(exec)),
+      id_(id) {
+  if (observe) {
+    reg_ = std::make_unique<obs::MetricsRegistry>();
+    hooks_ = obs::make_engine_hooks(*reg_, {{"session", name_}}, trace, id_);
+    monitor_.attach_obs(&hooks_);
+    trace_ = trace;
+  }
+}
+
+obs::MetricsSnapshot Session::metrics_snapshot() {
+  if (reg_ == nullptr) return {};
+  obs::sample_engine_stats(*reg_, monitor_.stats(), {{"session", name_}});
+  return reg_->snapshot();
+}
 
 Session::Status Session::status() const {
   if (monitor_.overflowed()) return Status::kOverflowed;
@@ -19,6 +36,7 @@ Session::Status Session::status() const {
 void Session::run_one_batch(size_t limit) {
   const size_t n = std::min(limit, buffer_.size() - head_);
   if (n == 0) return;
+  const uint64_t t0 = trace_ != nullptr ? obs::now_ns() : 0;
   const std::span<const Event> batch(buffer_.data() + head_, n);
   const size_t batch_start = fed_;
   try {
@@ -45,19 +63,53 @@ void Session::run_one_batch(size_t limit) {
     buffer_.clear();
     head_ = 0;
   }
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::SpanKind::kSessionBatch;
+    ev.session = id_;
+    ev.start_ns = t0;
+    ev.dur_ns = obs::now_ns() - t0;
+    ev.p0 = n;
+    ev.p1 = fed_;
+    ev.p2 = static_cast<uint64_t>(status());
+    trace_->record(ev);
+  }
 }
 
 MonitorService::MonitorService(const ServiceOptions& opts)
     : exec_(opts.executor != nullptr
                 ? opts.executor
                 : std::make_shared<parallel::Executor>(opts.lanes)),
-      batch_limit_(opts.batch_limit == 0 ? 1 : opts.batch_limit) {}
+      batch_limit_(opts.batch_limit == 0 ? 1 : opts.batch_limit) {
+  if (opts.observe) {
+    reg_ = std::make_unique<obs::MetricsRegistry>();
+    trace_ = opts.trace;
+    drain_sessions_ = &reg_->histogram("service_drain_sessions");
+    session_lag_ = &reg_->histogram("service_session_lag");
+    drain_rounds_ = &reg_->counter("service_drain_rounds_total");
+    events_drained_ = &reg_->counter("service_events_drained_total");
+    if (opts.executor == nullptr) {
+      // Only instrument an executor this service created; an injected one
+      // keeps whatever attachment its owner chose.
+      exec_hooks_ = std::make_unique<obs::ExecutorHooks>(
+          obs::make_executor_hooks(*reg_, {}, trace_));
+      exec_->set_obs(exec_hooks_.get());
+    }
+  }
+}
+
+MonitorService::~MonitorService() {
+  // The executor may outlive this service through its shared_ptr; detach
+  // our bundle before it is destroyed with us.
+  if (exec_hooks_ != nullptr) exec_->set_obs(nullptr);
+}
 
 SessionId MonitorService::open(std::string name,
                                std::unique_ptr<SeqSpec> spec,
                                const SessionOptions& opts) {
   sessions_.push_back(std::unique_ptr<Session>(
-      new Session(std::move(name), std::move(spec), opts, exec_)));
+      new Session(std::move(name), std::move(spec), opts, exec_,
+                  sessions_.size(), reg_ != nullptr, trace_)));
   return sessions_.size() - 1;
 }
 
@@ -83,6 +135,14 @@ size_t MonitorService::drain_round() {
   }
   if (ready.empty()) return 0;
   if (n > 0) rr_ = (rr_ + 1) % n;
+  const uint64_t t0 = reg_ != nullptr ? obs::now_ns() : 0;
+  size_t pend_before = 0;
+  if (reg_ != nullptr) {
+    for (Session* s : ready) {
+      pend_before += s->pending();
+      session_lag_->record(s->pending());  // per-session event lag at drain
+    }
+  }
   // One executor phase per round: sessions are mutually independent, so the
   // phase is embarrassingly parallel; the per-session batch cap keeps the
   // round (and thus cross-session latency) bounded.
@@ -90,6 +150,25 @@ size_t MonitorService::drain_round() {
   exec_->run_phase(ready.size(), [&ready, limit](size_t i) {
     ready[i]->run_one_batch(limit);
   });
+  if (reg_ != nullptr) {
+    drain_rounds_->add(1);
+    drain_sessions_->record(ready.size());
+    // Only ready sessions held pending input, so the service-wide total is
+    // their total; the delta counts settle-drops as drained (a settled
+    // session's buffer is consumed either way).
+    const size_t pend_after = pending();
+    events_drained_->add(pend_before - pend_after);
+    if (trace_ != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::SpanKind::kDrainRound;
+      ev.start_ns = t0;
+      ev.dur_ns = obs::now_ns() - t0;
+      ev.p0 = ready.size();
+      ev.p1 = pend_before - pend_after;
+      ev.p2 = pend_after;
+      trace_->record(ev);
+    }
+  }
   return ready.size();
 }
 
@@ -102,6 +181,20 @@ size_t MonitorService::pending() const {
   size_t total = 0;
   for (const auto& s : sessions_) total += s->pending();
   return total;
+}
+
+obs::MetricsSnapshot MonitorService::metrics_snapshot() {
+  if (reg_ == nullptr) return {};
+  obs::MetricsSnapshot out = reg_->snapshot();
+  for (const auto& s : sessions_) {
+    obs::MetricsSnapshot ss = s->metrics_snapshot();
+    for (auto& v : ss.values) out.values.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::string MonitorService::metrics_json() {
+  return obs::snapshot_json(metrics_snapshot());
 }
 
 }  // namespace selin::service

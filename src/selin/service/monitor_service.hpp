@@ -42,6 +42,8 @@
 #include "selin/engine/stats.hpp"
 #include "selin/history/history.hpp"
 #include "selin/lincheck/checker.hpp"
+#include "selin/obs/hooks.hpp"
+#include "selin/obs/metrics.hpp"
 #include "selin/parallel/executor.hpp"
 #include "selin/spec/spec.hpp"
 
@@ -59,6 +61,16 @@ struct ServiceOptions {
   /// Share an existing executor (e.g. with other services or checkers)
   /// instead of creating one.
   std::shared_ptr<parallel::Executor> executor;
+  /// Build the observability plane: a per-session MetricsRegistry with the
+  /// engine instrument set (labelled session=<name>), service drain-round
+  /// instruments, and — when the service creates its own executor —
+  /// executor instruments (an injected executor keeps its owner's
+  /// attachment).  Off by default: unobserved sessions pay one null check
+  /// per feed round.
+  bool observe = false;
+  /// Receives kDrainRound / kSessionBatch / engine spans (borrowed; must
+  /// outlive the service).  Only read when `observe` is set.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct SessionOptions {
@@ -98,12 +110,21 @@ class Session {
   engine::EngineStats stats() const { return monitor_.stats(); }
   size_t frontier_size() const { return monitor_.frontier_size(); }
 
+  /// The session's instrument registry; nullptr when the service is
+  /// unobserved.
+  const obs::MetricsRegistry* metrics() const { return reg_.get(); }
+
+  /// Snapshot of the session's instruments with the engine counters sampled
+  /// into engine_* gauges; empty when unobserved.
+  obs::MetricsSnapshot metrics_snapshot();
+
  private:
   friend class MonitorService;
 
   Session(std::string name, std::unique_ptr<SeqSpec> spec,
           const SessionOptions& opts,
-          std::shared_ptr<parallel::Executor> exec);
+          std::shared_ptr<parallel::Executor> exec, uint64_t id,
+          bool observe, obs::TraceSink* trace);
 
   /// Feed up to `limit` buffered events into the monitor (executor-phase
   /// job: touches only this session).  CheckerOverflow is absorbed into the
@@ -118,11 +139,20 @@ class Session {
   size_t fed_ = 0;
   size_t first_bad_ = 0;
   bool settled_ = false;  // rejected or overflowed: drop further input
+
+  // Observability plane (null/unused when the service is unobserved).  The
+  // registry and bundle live with the session, so monitor_'s borrowed
+  // attachment can never dangle.
+  uint64_t id_ = 0;
+  std::unique_ptr<obs::MetricsRegistry> reg_;
+  obs::EngineHooks hooks_;
+  obs::TraceSink* trace_ = nullptr;  // kSessionBatch spans
 };
 
 class MonitorService {
  public:
   explicit MonitorService(const ServiceOptions& opts = {});
+  ~MonitorService();
 
   /// Opens an independent stream checked against `spec`.  The returned id
   /// is stable for the service's lifetime (sessions are never reused).
@@ -153,11 +183,34 @@ class MonitorService {
     return exec_;
   }
 
+  bool observed() const { return reg_ != nullptr; }
+
+  /// Merged snapshot of the whole observability plane: the service's own
+  /// drain-round/executor instruments plus every session's registry, with
+  /// each session's engine counters sampled in.  Empty when unobserved.
+  /// Controller-thread call, between drains (like every query).
+  obs::MetricsSnapshot metrics_snapshot();
+
+  /// obs::snapshot_json of metrics_snapshot() — the machine-readable
+  /// endpoint the ingest daemon will serve.
+  std::string metrics_json();
+
  private:
   std::shared_ptr<parallel::Executor> exec_;
   size_t batch_limit_;
   std::vector<std::unique_ptr<Session>> sessions_;
   size_t rr_ = 0;  // round-robin start offset (fairness rotation)
+
+  // Observability plane (all null when unobserved).  exec_hooks_ is heap-
+  // allocated so the executor's borrowed pointer stays valid until the
+  // destructor detaches it.
+  std::unique_ptr<obs::MetricsRegistry> reg_;
+  std::unique_ptr<obs::ExecutorHooks> exec_hooks_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::Histogram* drain_sessions_ = nullptr;  // sessions serviced per round
+  obs::Histogram* session_lag_ = nullptr;     // pending events at drain time
+  obs::Counter* drain_rounds_ = nullptr;
+  obs::Counter* events_drained_ = nullptr;
 };
 
 }  // namespace selin::service

@@ -22,6 +22,10 @@
 
 #include "selin/history/history.hpp"
 
+namespace selin::obs {
+struct EngineHooks;  // obs/hooks.hpp — instrumentation bundle, borrowed
+}  // namespace selin::obs
+
 namespace selin {
 
 /// Deterministic sequential state machine state (Definition 4.1).
@@ -94,6 +98,12 @@ class MembershipMonitor {
   /// Membership verdict for everything fed so far.  Once false, stays false.
   virtual bool ok() const = 0;
   virtual std::unique_ptr<MembershipMonitor> clone() const = 0;
+
+  /// Attach observability instruments (obs/hooks.hpp; nullptr detaches).
+  /// The bundle must outlive the monitor and every clone taken from it —
+  /// clones inherit the attachment.  Default: no-op, for monitors without
+  /// an instrumented engine.
+  virtual void attach_obs(const obs::EngineHooks* hooks) { (void)hooks; }
 };
 
 /// An abstract object in the sense of Section 7.1: a set of well-formed

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "selin/obs/hooks.hpp"
+
 namespace selin {
 
 std::vector<OpDesc> XBuilder::delta(const View* prev, const View& view) {
@@ -76,9 +78,17 @@ LeveledChecker::LeveledChecker(const GenLinObject& obj, const Options& opts)
 
 LeveledChecker::~LeveledChecker() = default;
 
+void LeveledChecker::set_obs(const obs::LeveledHooks* hooks) {
+  obs_ = hooks;
+  if (cur_ != nullptr) {
+    cur_->attach_obs(hooks != nullptr ? hooks->engine : nullptr);
+  }
+}
+
 void LeveledChecker::ensure_monitor() {
   if (cur_ == nullptr) {
     cur_ = obj_->monitor(threads_);
+    if (obs_ != nullptr) cur_->attach_obs(obs_->engine);
     fed_ = 0;
   }
 }
@@ -147,6 +157,9 @@ void LeveledChecker::post_stripe() {
   job->chunks = std::move(stripe_chunks_);
   stripe_chunks_.clear();
   pending_.push_back(job);
+  if (obs_ != nullptr && obs_->stripes_pending != nullptr) {
+    obs_->stripes_pending->set(static_cast<int64_t>(pending_.size()));
+  }
   lanes_->post([job] {
     std::unique_ptr<MembershipMonitor> m = job->seed->clone();
     for (size_t r = 0; r < job->chunks.size(); ++r) {
@@ -179,10 +192,14 @@ void LeveledChecker::harvest(bool wait) {
     }
     it = pending_.erase(it);
   }
+  if (obs_ != nullptr && obs_->stripes_pending != nullptr) {
+    obs_->stripes_pending->set(static_cast<int64_t>(pending_.size()));
+  }
 }
 
 void LeveledChecker::rollback(size_t from_level) {
   ++rollbacks_;
+  const size_t fed_before = fed_;
   // Quiesce the lanes before touching checkpoint storage: every pending
   // stripe completes (and is harvested), so no job can observe the
   // truncation below.
@@ -200,6 +217,7 @@ void LeveledChecker::rollback(size_t from_level) {
   }
   if (keep == 0) {
     cur_ = obj_->monitor(threads_);
+    if (obs_ != nullptr) cur_->attach_obs(obs_->engine);
     fed_ = 0;
   } else {
     cur_ = checkpoints_[keep - 1]->clone();
@@ -210,6 +228,20 @@ void LeveledChecker::rollback(size_t from_level) {
   // overwrite them.
   for (size_t i = keep; i < checkpoints_.size(); ++i) checkpoints_[i].reset();
   checkpoints_.resize(keep);
+  if (obs_ != nullptr) {
+    const size_t replay = fed_before - fed_;
+    if (obs_->rollback_depth != nullptr) obs_->rollback_depth->record(replay);
+    if (obs_->trace != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::SpanKind::kRollback;
+      ev.session = obs_->session;
+      ev.start_ns = obs::now_ns();
+      ev.p0 = from_level;
+      ev.p1 = replay;
+      ev.p2 = keep;
+      obs_->trace->record(ev);
+    }
+  }
 }
 
 bool LeveledChecker::resync(const XBuilder& builder, size_t from_level) {
@@ -219,6 +251,8 @@ bool LeveledChecker::resync(const XBuilder& builder, size_t from_level) {
 
 bool LeveledChecker::resync(const XBuilder& builder,
                             std::span<const size_t> dirty_levels) {
+  const uint64_t t0 = obs_ != nullptr ? obs::now_ns() : 0;
+  const uint64_t replayed_before = replayed_levels_;
   const auto& levels = builder.levels();
   ensure_monitor();
   harvest(/*wait=*/false);  // fold completed stripes in while we are here
@@ -236,6 +270,22 @@ bool LeveledChecker::resync(const XBuilder& builder,
   }
   append_batch(builder);
   ok_ = cur_->ok();
+  if (obs_ != nullptr) {
+    const uint64_t dur = obs::now_ns() - t0;
+    if (obs_->resync_ns != nullptr) obs_->resync_ns->record(dur);
+    if (obs_->trace != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::SpanKind::kResync;
+      ev.session = obs_->session;
+      ev.start_ns = t0;
+      ev.dur_ns = dur;
+      ev.p0 = dirty_levels.size();
+      ev.p1 = from;
+      ev.p2 = replayed_levels_ - replayed_before;
+      ev.p3 = fed_;
+      obs_->trace->record(ev);
+    }
+  }
   return ok_;
 }
 

@@ -32,6 +32,10 @@
 #include "selin/spec/spec.hpp"
 #include "selin/views/lambda.hpp"
 
+namespace selin::obs {
+struct LeveledHooks;  // obs/hooks.hpp — instrumentation bundle, borrowed
+}  // namespace selin::obs
+
 namespace selin {
 
 /// One level of X(λ): the invocations that first appear in σk, then the
@@ -151,6 +155,13 @@ class LeveledChecker {
 
   bool ok() const { return ok_; }
 
+  /// Attach observability instruments (obs/hooks.hpp; nullptr detaches).
+  /// Attach before the first resync: the live monitor and every checkpoint
+  /// cloned from it inherit `hooks->engine`, so rollback replays report into
+  /// the same engine instruments; attaching mid-run only reaches monitors
+  /// created afterwards.  The bundle must outlive the checker.
+  void set_obs(const obs::LeveledHooks* hooks);
+
   /// Materialized checkpoints (quiesces the snapshot lanes first).  Under
   /// the synchronous discipline this is exactly levels_fed() / stride after
   /// any resync — the eager-release regression tests key on that; under
@@ -220,6 +231,9 @@ class LeveledChecker {
   uint64_t rollbacks_ = 0;
   uint64_t replayed_levels_ = 0;
   size_t peak_storm_records_ = 0;
+
+  // Borrowed instrumentation bundle; controller-thread access only.
+  const obs::LeveledHooks* obs_ = nullptr;
 
   // Declared last so destruction drains the lanes before any member a
   // posted job references goes away.

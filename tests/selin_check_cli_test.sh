@@ -101,6 +101,118 @@ expect 2 "$bin" queue "${ok_files[0]}" - --jobs 2
 expect 2 "$bin" queue "${ok_files[@]}" --jobs 2 --witness
 expect 2 "$bin" queue "${ok_files[@]}" --jobs 0
 
+# ---- observability outputs -------------------------------------------------
+# A JSON round-trip helper: parses stdin as JSON, checks that a
+# dot-separated key path exists, fails loudly otherwise.
+json_has() {
+  local file="$1"; shift
+  if ! python3 - "$file" "$@" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for path in sys.argv[2:]:
+    node = doc
+    for part in path.split('.'):
+        node = node[part]
+sys.exit(0)
+PY
+  then
+    echo "FAIL: JSON contract violated ($*) in $file" >&2
+    sed 's/^/  out: /' "$file" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: JSON contract $*"
+  fi
+}
+
+# --stats-json: one JSON object with the stable EngineStats keys; the
+# verdict exit code is unchanged.
+expect 0 "$bin" queue "${ok_files[0]}" --quiet --stats-json
+json_has "$tmp/out" lanes events_fed rounds_sequential rounds_parallel \
+  peak_frontier dedup_probes dedup_hits states_recycled engage_width \
+  retreat_width mode_switches tuner_updates
+
+# --metrics -: stdout is a single JSON document that round-trips through a
+# parser (the ISSUE acceptance contract), even when attached to a run that
+# also traces; verdict exit codes survive.
+expect 0 "$bin" queue "${ok_files[0]}" --metrics - --trace "$tmp/trace.jsonl"
+json_has "$tmp/out" metrics
+if ! python3 -c "
+import json, sys
+doc = json.load(open('$tmp/out'))
+names = {m['name'] for m in doc['metrics']}
+assert 'engine_round_ns' in names, names
+assert 'engine_events_fed' in names, names
+h = next(m for m in doc['metrics'] if m['name'] == 'engine_round_ns'
+         and m['labels'].get('mode') == 'seq')
+assert h['kind'] == 'histogram' and h['count'] > 0, h
+"; then
+  echo "FAIL: --metrics - snapshot missing engine instruments" >&2
+  fails=$((fails + 1))
+else
+  echo "ok: --metrics - carries engine instruments"
+fi
+# Every trace line is itself JSON with the span fields.
+if ! python3 -c "
+import json
+lines = [json.loads(l) for l in open('$tmp/trace.jsonl')]
+assert lines, 'empty trace'
+for ev in lines:
+    for k in ('seq', 'kind', 'session', 't_ns', 'dur_ns', 'p0'):
+        assert k in ev, (k, ev)
+assert any(ev['kind'] == 'feed_round' for ev in lines)
+"; then
+  echo "FAIL: --trace output is not well-formed JSONL" >&2
+  fails=$((fails + 1))
+else
+  echo "ok: --trace emits well-formed JSONL spans"
+fi
+
+# Exit codes pass through --metrics: a violating history still exits 1 and
+# still emits a parseable document.
+expect 1 "$bin" queue "$tmp/hists/bad_fifo.hist" --metrics -
+json_has "$tmp/out" metrics
+# An unwritable metrics target is a usage error.
+expect 2 "$bin" queue "${ok_files[0]}" --metrics "$tmp/no-such-dir/m.json"
+expect 2 "$bin" queue "${ok_files[0]}" --trace "$tmp/no-such-dir/t.jsonl"
+
+# Multi mode: --metrics - suppresses the table, merges per-session
+# registries (session labels) with service drain-round instruments.
+expect 1 "$bin" queue "${ok_files[@]}" "$tmp/hists/bad_fifo.hist" --jobs 2 \
+  --metrics -
+if ! python3 -c "
+import json
+doc = json.load(open('$tmp/out'))
+names = {m['name'] for m in doc['metrics']}
+assert 'service_drain_sessions' in names, names
+assert 'service_events_drained_total' in names, names
+sessions = {m['labels']['session'] for m in doc['metrics']
+            if 'session' in m['labels']}
+assert len(sessions) == $((${#ok_files[@]} + 1)), sessions
+"; then
+  echo "FAIL: multi-mode metrics document wrong" >&2
+  sed 's/^/  out: /' "$tmp/out" >&2
+  fails=$((fails + 1))
+else
+  echo "ok: multi-mode --metrics - merges session + service registries"
+fi
+# Multi-mode --stats-json: one {file, stats} line per session.
+expect 0 "$bin" queue "${ok_files[@]}" --jobs 2 --quiet --stats-json
+if ! python3 -c "
+import json
+lines = [json.loads(l) for l in open('$tmp/out')]
+assert len(lines) == ${#ok_files[@]}, lines
+for obj in lines:
+    assert 'file' in obj and 'stats' in obj, obj
+    assert 'events_fed' in obj['stats'], obj
+"; then
+  echo "FAIL: multi-mode --stats-json lines wrong" >&2
+  sed 's/^/  out: /' "$tmp/out" >&2
+  fails=$((fails + 1))
+else
+  echo "ok: multi-mode --stats-json emits one line per session"
+fi
+
 if [[ "$fails" -ne 0 ]]; then
   echo "$fails check(s) failed" >&2
   exit 1

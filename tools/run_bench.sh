@@ -4,7 +4,7 @@
 # perf trajectory is tracked PR over PR.
 #
 # Usage: tools/run_bench.sh [build-dir] \
-#            [--facet all|parallel_scaling|leveled_replay|multi_session|frontier_memory] \
+#            [--facet all|parallel_scaling|leveled_replay|multi_session|frontier_memory|obs_overhead] \
 #            [--allow-non-release]
 #
 # Recorded numbers are only comparable between optimized builds, so the
@@ -12,11 +12,17 @@
 # CMAKE_BUILD_TYPE=Release and refuses to record from any other build type
 # unless --allow-non-release is given (which tags every touched facet with
 # "non_release_run": true so the gate and readers can discount it).  The
-# system libbenchmark is a Debian debug build and self-reports
-# library_build_type=debug regardless of how *our* code was compiled; the
-# recorded library_build_type is therefore taken from the bench binaries'
-# CMAKE_BUILD_TYPE (the thing being measured) and the library's own value is
-# kept as benchmark_library_build_type.
+# same gate covers the benchmark *library*: the system libbenchmark is a
+# Debian debug build (self-reported library_build_type=debug, unoptimized
+# timing loops), so the script probes the binary's reported library build
+# type and refuses to record against a non-release library unless
+# --allow-non-release is given — configure with
+# -DSELIN_BENCHMARK_FROM_SOURCE=ON (network required; CI's bench jobs do)
+# to build the library in Release.  Facets recorded over a debug library
+# carry "debug_benchmark_library": true; the recorded library_build_type is
+# taken from the bench binaries' CMAKE_BUILD_TYPE (the thing being
+# measured) and the library's own value is kept as
+# benchmark_library_build_type.
 #
 # --facet parallel_scaling re-runs only BM_ParallelFrontierScaling and
 # replaces just the `parallel_scaling` facet of BENCH_lincheck.json, leaving
@@ -29,7 +35,10 @@
 # (bench_multi_session: sessions x shared-executor lanes, aggregate
 # events/sec), and --facet frontier_memory for the op-set footprint facet
 # (bench_frontier_memory: peak live configs x mean per-config op-set bytes
-# on long ragged histories).
+# on long ragged histories), and --facet obs_overhead for the observability
+# tax facet (bench_obs_overhead: incremental-monitor throughput detached vs
+# metrics vs metrics+trace; the ISSUE 7 budget is <= 2% with metrics
+# attached).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -60,8 +69,8 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 case "$facet" in
-  all|parallel_scaling|leveled_replay|multi_session|frontier_memory) ;;
-  *) echo "error: unknown facet '$facet' (all | parallel_scaling | leveled_replay | multi_session | frontier_memory)" >&2; exit 2 ;;
+  all|parallel_scaling|leveled_replay|multi_session|frontier_memory|obs_overhead) ;;
+  *) echo "error: unknown facet '$facet' (all | parallel_scaling | leveled_replay | multi_session | frontier_memory | obs_overhead)" >&2; exit 2 ;;
 esac
 
 tmp="$(mktemp -d)"
@@ -92,6 +101,33 @@ if [[ ! -x "$build_dir/bench_lincheck" ]]; then
   exit 1
 fi
 
+# Library half of the Release gate: probe the benchmark library's own build
+# type from the context block of a sub-second run (a no-match filter writes
+# no output file at all, so the probe runs the smallest lincheck workload).
+# The system Debian package is a debug library whose timing loops are
+# unoptimized, so recording against it needs the same explicit override as
+# a non-Release build of our own code.
+"$build_dir/bench_lincheck" \
+    --benchmark_filter='^BM_OfflineCheckVsLength/0/16$' \
+    --benchmark_min_time=0.001 \
+    --benchmark_out="$tmp/probe.json" --benchmark_out_format=json \
+    > /dev/null
+lib_build_type="$(python3 -c \
+    "import json, sys; print(str(json.load(open(sys.argv[1]))['context'].get('library_build_type', 'unknown')).lower())" \
+    "$tmp/probe.json")"
+export SELIN_BENCH_LIB_BUILD_TYPE="$lib_build_type"
+if [[ "$lib_build_type" != "release" ]]; then
+  if [[ $allow_non_release -eq 0 ]]; then
+    echo "error: the benchmark library is a '$lib_build_type' build;" >&2
+    echo "       configure with -DSELIN_BENCHMARK_FROM_SOURCE=ON to build" >&2
+    echo "       it in Release (needs network), or re-run with" >&2
+    echo "       --allow-non-release to record tagged numbers" >&2
+    exit 1
+  fi
+  echo "WARNING: recording against a '$lib_build_type' benchmark library;" >&2
+  echo "         facets will carry debug_benchmark_library=true" >&2
+fi
+
 if [[ "$facet" == "parallel_scaling" ]]; then
   "$build_dir/bench_lincheck" \
       --benchmark_filter='BM_ParallelFrontierScaling' \
@@ -117,6 +153,17 @@ elif [[ "$facet" == "frontier_memory" ]]; then
   fi
   "$build_dir/bench_frontier_memory" \
       --benchmark_out="$tmp/frontier_memory.json" --benchmark_out_format=json
+elif [[ "$facet" == "obs_overhead" ]]; then
+  if [[ ! -x "$build_dir/bench_obs_overhead" ]]; then
+    echo "error: bench_obs_overhead not built in $build_dir" >&2
+    exit 1
+  fi
+  # Repetitions + min-time damp single-run jitter: the facet stores the
+  # best (min real_time) repetition per arm so a 2% budget is measurable.
+  "$build_dir/bench_obs_overhead" \
+      --benchmark_min_time=0.25 --benchmark_repetitions=5 \
+      --benchmark_report_aggregates_only=false \
+      --benchmark_out="$tmp/obs_overhead.json" --benchmark_out_format=json
 else
   if [[ ! -x "$build_dir/bench_detection" ]]; then
     echo "error: benchmarks not built in $build_dir (cmake -B build -S . && cmake --build build -j)" >&2
@@ -138,22 +185,32 @@ else
     "$build_dir/bench_frontier_memory" \
         --benchmark_out="$tmp/frontier_memory.json" --benchmark_out_format=json
   fi
+  if [[ -x "$build_dir/bench_obs_overhead" ]]; then
+    "$build_dir/bench_obs_overhead" \
+        --benchmark_min_time=0.25 --benchmark_repetitions=5 \
+        --benchmark_report_aggregates_only=false \
+        --benchmark_out="$tmp/obs_overhead.json" --benchmark_out_format=json
+  fi
 fi
 
-python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$tmp/leveled.json" "$tmp/multi_session.json" "$tmp/frontier_memory.json" "$out" <<'EOF'
+python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$tmp/leveled.json" "$tmp/multi_session.json" "$tmp/frontier_memory.json" "$tmp/obs_overhead.json" "$out" <<'EOF'
 import json, os, sys
 
 (mode, lincheck, detection, leveled, multi_session, frontier_memory,
- out) = sys.argv[1:8]
+ obs_overhead, out) = sys.argv[1:9]
 
 # The build type of the *bench binaries* (what run_bench.sh just built and
 # measured); the benchmark library's own build type is recorded separately
 # because the Debian package is a debug build and says so forever.
 BUILD_TYPE = os.environ.get("SELIN_BENCH_BUILD_TYPE", "unknown").lower()
+LIB_BUILD_TYPE = os.environ.get("SELIN_BENCH_LIB_BUILD_TYPE",
+                                "unknown").lower()
 
 def tag_non_release(d):
     if BUILD_TYPE != "release":
         d["non_release_run"] = True
+    if LIB_BUILD_TYPE != "release":
+        d["debug_benchmark_library"] = True
     return d
 
 def load(path):
@@ -287,8 +344,63 @@ def frontier_memory_facet(run):
         "per_workload": rows,
     })
 
+def obs_overhead_facet(run):
+    """Observability tax on the incremental monitor's feed hot path
+    (bench_obs_overhead — BM_ObsOverhead/0 detached, /1 metrics attached,
+    /2 metrics + RingRecorder trace).  Stores each arm's best-repetition
+    throughput and the relative overhead vs the detached arm; the ISSUE 7
+    budget is overhead_pct.metrics <= 2.  Single-threaded and
+    deterministic, but excluded from the wall-time regression gate
+    (tools/bench_gate.py): the quantity gated here is the *ratio* between
+    arms, which this facet records directly."""
+    arms = {"0": "detached", "1": "metrics", "2": "metrics+trace"}
+    per_arm = {}
+    for b in run["benchmarks"]:
+        name = b.get("name", "")
+        if (not name.startswith("BM_ObsOverhead/")
+                or b.get("run_type") == "aggregate"
+                or "items_per_second" not in b):
+            continue
+        arm = arms.get(name.split("/")[1])
+        if arm is None:
+            continue
+        # min real_time across repetitions == max items_per_second
+        cur = per_arm.get(arm)
+        if cur is None or b["items_per_second"] > cur:
+            per_arm[arm] = b["items_per_second"]
+    if "detached" not in per_arm:
+        return None
+    base = per_arm["detached"]
+    return tag_non_release({
+        "workload": "incremental queue monitor, 512-op linearizable "
+                    "history (concurrency window 2), one feed per "
+                    "iteration; best of 5 repetitions per arm",
+        "events_per_second_by_arm": per_arm,
+        "overhead_pct_vs_detached": {
+            a: (base / v - 1.0) * 100.0
+            for a, v in per_arm.items() if a != "detached"
+        },
+        "budget_pct": 2.0,
+    })
+
 # The single-binary facet modes run one bench alone, so no lincheck.json
 # exists to load — handle them before touching the other runs.
+if mode == "obs_overhead":
+    with open(obs_overhead) as f:
+        facet = obs_overhead_facet(json.load(f))
+    if facet is None:
+        sys.exit("error: no BM_ObsOverhead results in this run")
+    try:
+        with open(out) as f:
+            result = json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        sys.exit(f"error: {out} missing or unreadable; run the full suite first")
+    result["obs_overhead"] = facet
+    with open(out, "w") as f:
+        json.dump(result, f, indent=1)
+    print(f"updated obs_overhead facet of {out}")
+    sys.exit(0)
+
 if mode == "frontier_memory":
     with open(frontier_memory) as f:
         facet = frontier_memory_facet(json.load(f))
@@ -374,6 +486,13 @@ except FileNotFoundError:
     memory_facet = None
 if memory_facet is not None:
     result["frontier_memory"] = memory_facet
+try:
+    with open(obs_overhead) as f:
+        obs_facet = obs_overhead_facet(json.load(f))
+except FileNotFoundError:
+    obs_facet = None
+if obs_facet is not None:
+    result["obs_overhead"] = obs_facet
 
 # Preserve facets recorded by earlier PRs/other hosts when this run did not
 # produce them (baseline_string_key is PR 1's string-key engine baseline;
@@ -382,7 +501,7 @@ try:
     with open(out) as f:
         prev = json.load(f)
     for key in ("baseline_string_key", "leveled_replay", "parallel_scaling",
-                "multi_session", "frontier_memory"):
+                "multi_session", "frontier_memory", "obs_overhead"):
         if key in prev and key not in result:
             result[key] = prev[key]
 except (FileNotFoundError, json.JSONDecodeError):

@@ -29,6 +29,23 @@
 // records a linearization order.  --stats prints the engine's execution
 // counters per history.
 //
+// Observability outputs (both modes):
+//   --stats-json       print the engine counters as one JSON object per
+//                      history (stable keys — see obs::engine_stats_json) on
+//                      stdout; in multi-history mode one
+//                      {"file":...,"stats":{...}} line per session.
+//   --metrics <file|-> attach the obs metrics plane (per-session registries,
+//                      engine round/frontier histograms, executor and
+//                      drain-round instruments in multi mode) and write one
+//                      obs::snapshot_json document at exit.  `-` writes the
+//                      document to stdout and implies --quiet, so stdout is
+//                      a single parseable JSON document.
+//   --trace <file>     attach an obs::JsonlSink: one JSON line per span
+//                      event (feed rounds, executor phases, tuner decisions,
+//                      drain rounds, session batches — see obs/trace.hpp).
+// Verdict exit codes are unchanged by these flags; an unwritable metrics or
+// trace file is a usage error (2).
+//
 // Exit codes, single-history mode: 0 = linearizable, 1 = NOT linearizable,
 // 2 = usage/parse error, 3 = exploration budget overflow (verdict unknown —
 // the membership problem is NP-hard and this history has too much sustained
@@ -55,6 +72,9 @@
 
 #include "selin/io/history_io.hpp"
 #include "selin/lincheck/checker.hpp"
+#include "selin/obs/export.hpp"
+#include "selin/obs/hooks.hpp"
+#include "selin/obs/trace.hpp"
 #include "selin/service/monitor_service.hpp"
 #include "selin/sim/workload.hpp"
 
@@ -76,10 +96,48 @@ std::optional<ObjectKind> parse_object(const std::string& s) {
 int usage() {
   std::cerr << "usage: selin_check <queue|stack|set|pqueue|counter|register|"
                "consensus> <file|-> [--witness] [--quiet] [--threads N|auto] "
-               "[--tune] [--stats]\n"
+               "[--tune] [--stats] [--stats-json] [--metrics <file|->] "
+               "[--trace <file>]\n"
                "       selin_check <object> <file> <file> ... [--jobs N] "
-               "[--quiet] [--threads N|auto] [--tune] [--stats]\n";
+               "[--quiet] [--threads N|auto] [--tune] [--stats] "
+               "[--stats-json] [--metrics <file|->] [--trace <file>]\n";
   return 2;
+}
+
+/// Observability outputs shared by both modes.
+struct ObsOpts {
+  bool want_stats = false;
+  bool stats_json = false;
+  std::string metrics;  // empty = off; "-" = stdout
+  std::string trace;    // empty = off
+  bool enabled() const { return !metrics.empty() || !trace.empty(); }
+};
+
+/// Write one snapshot_json document to `target` ("-" = stdout).  Returns
+/// false (after complaining) when the file cannot be written.
+bool write_metrics(const obs::MetricsSnapshot& snap,
+                   const std::string& target) {
+  const std::string doc = obs::snapshot_json(snap);
+  if (target == "-") {
+    std::cout << doc << "\n";
+    return true;
+  }
+  std::ofstream out(target);
+  if (!out) {
+    std::cerr << "selin_check: cannot write metrics to " << target << "\n";
+    return false;
+  }
+  out << doc << "\n";
+  return true;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  out.push_back('"');
 }
 
 void print_stats(const engine::EngineStats& s) {
@@ -101,16 +159,8 @@ void print_stats(const engine::EngineStats& s) {
             << " tuner_updates=" << s.tuner_updates << "\n";
 }
 
-int report_overflow(const LinMonitor& m, bool want_stats) {
-  if (want_stats) print_stats(m.stats());
-  std::cerr << "selin_check: OVERFLOW — exploration budget exceeded; verdict "
-               "unknown (too much sustained concurrency; the membership "
-               "problem is NP-hard)\n";
-  return 3;
-}
-
 int run_single(ObjectKind kind, const std::string& path, bool want_witness,
-               bool quiet, bool want_stats, size_t threads) {
+               bool quiet, const ObsOpts& oo, size_t threads) {
   History h;
   try {
     if (path == "-") {
@@ -128,8 +178,38 @@ int run_single(ObjectKind kind, const std::string& path, bool want_witness,
     return 2;
   }
 
+  std::unique_ptr<obs::JsonlSink> tsink;
+  if (!oo.trace.empty()) {
+    tsink = std::make_unique<obs::JsonlSink>(oo.trace);
+    if (!tsink->ok()) {
+      std::cerr << "selin_check: cannot write trace to " << oo.trace << "\n";
+      return 2;
+    }
+  }
+
   auto spec = make_spec(kind);
   LinMonitor m(*spec, /*max_configs=*/1 << 18, threads);
+  obs::MetricsRegistry reg;
+  obs::EngineHooks hooks;
+  if (oo.enabled()) {
+    hooks = obs::make_engine_hooks(reg, {}, tsink.get());
+    m.attach_obs(&hooks);
+  }
+
+  // Common tail of every verdict path: the per-history machine-readable
+  // outputs, then the exit code (2 if a metrics file was unwritable).
+  auto finish = [&](int code) {
+    if (oo.want_stats) print_stats(m.stats());
+    if (oo.stats_json) {
+      std::cout << obs::engine_stats_json(m.stats()) << "\n";
+    }
+    if (!oo.metrics.empty()) {
+      obs::sample_engine_stats(reg, m.stats());
+      if (!write_metrics(reg.snapshot(), oo.metrics)) return 2;
+    }
+    return code;
+  };
+
   size_t first_bad = h.size();
   try {
     for (size_t i = 0; i < h.size(); ++i) {
@@ -140,7 +220,10 @@ int run_single(ObjectKind kind, const std::string& path, bool want_witness,
       }
     }
   } catch (const CheckerOverflow&) {
-    return report_overflow(m, want_stats);
+    std::cerr << "selin_check: OVERFLOW — exploration budget exceeded; "
+                 "verdict unknown (too much sustained concurrency; the "
+                 "membership problem is NP-hard)\n";
+    return finish(3);
   }
 
   if (m.ok()) {
@@ -171,20 +254,18 @@ int run_single(ObjectKind kind, const std::string& path, bool want_witness,
         write_history(std::cout, *lin);
       }
     }
-    if (want_stats) print_stats(m.stats());
-    return 0;
+    return finish(0);
   }
   if (!quiet) {
     std::cout << "NOT LINEARIZABLE\n";
     std::cout << "# first inconsistent event (index " << first_bad
               << "): " << to_string(h[first_bad]) << "\n";
   }
-  if (want_stats) print_stats(m.stats());
-  return 1;
+  return finish(1);
 }
 
 int run_multi(ObjectKind kind, const std::vector<std::string>& files,
-              size_t jobs, bool quiet, bool want_stats, size_t threads) {
+              size_t jobs, bool quiet, const ObsOpts& oo, size_t threads) {
   struct FileCtx {
     std::string path;
     std::ifstream stream;
@@ -195,9 +276,24 @@ int run_multi(ObjectKind kind, const std::vector<std::string>& files,
     std::string error;
   };
 
+  std::unique_ptr<obs::JsonlSink> tsink;
+  if (!oo.trace.empty()) {
+    tsink = std::make_unique<obs::JsonlSink>(oo.trace);
+    if (!tsink->ok()) {
+      std::cerr << "selin_check: cannot write trace to " << oo.trace << "\n";
+      return 2;
+    }
+  }
+  // `--metrics -` must leave stdout a single parseable JSON document, so the
+  // verdict table (including quiet mode's failing-file lines) is suppressed;
+  // the exit code still carries the aggregate verdict.
+  const bool suppress_report = oo.metrics == "-";
+
   service::ServiceOptions so;
   so.lanes = jobs;
   so.batch_limit = 512;
+  so.observe = oo.enabled();
+  so.trace = tsink.get();
   service::MonitorService svc(so);
 
   std::vector<FileCtx> ctxs(files.size());
@@ -255,7 +351,7 @@ int run_multi(ObjectKind kind, const std::vector<std::string>& files,
   size_t width = 4;  // "file" header
   for (const FileCtx& c : ctxs) width = std::max(width, c.path.size());
   bool any_error = false, any_overflow = false, any_violation = false;
-  if (!quiet) {
+  if (!quiet && !suppress_report) {
     std::cout << std::left << std::setw(static_cast<int>(width + 2)) << "file"
               << std::setw(12) << "verdict" << "events\n";
   }
@@ -289,13 +385,27 @@ int run_multi(ObjectKind kind, const std::vector<std::string>& files,
           break;
       }
     }
-    if (!quiet || verdict != "OK") {
+    if ((!quiet || verdict != "OK") && !suppress_report) {
       std::cout << std::left << std::setw(static_cast<int>(width + 2))
                 << c.path << std::setw(12) << verdict << events;
       if (!detail.empty()) std::cout << "  # " << detail;
       std::cout << "\n";
     }
-    if (want_stats && c.has_session) print_stats(svc.session(c.sid).stats());
+    if (oo.want_stats && c.has_session) {
+      print_stats(svc.session(c.sid).stats());
+    }
+    if (oo.stats_json && c.has_session && !suppress_report) {
+      std::string line = "{\"file\":";
+      append_json_string(line, c.path);
+      line += ",\"stats\":";
+      line += obs::engine_stats_json(svc.session(c.sid).stats());
+      line += "}";
+      std::cout << line << "\n";
+    }
+  }
+  if (!oo.metrics.empty() &&
+      !write_metrics(svc.metrics_snapshot(), oo.metrics)) {
+    return 2;
   }
   if (any_error) return 4;
   if (any_overflow) return 3;
@@ -309,8 +419,9 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   auto kind = parse_object(argv[1]);
   if (!kind.has_value()) return usage();
-  bool want_witness = false, quiet = false, want_stats = false;
+  bool want_witness = false, quiet = false;
   bool want_tune = false, jobs_given = false;
+  ObsOpts oo;
   size_t threads = 1;
   size_t jobs = 0;  // 0 = hardware-resolved
   std::vector<std::string> files;
@@ -318,7 +429,10 @@ int main(int argc, char** argv) {
     std::string flag = argv[i];
     if (flag == "--witness") want_witness = true;
     else if (flag == "--quiet") quiet = true;
-    else if (flag == "--stats") want_stats = true;
+    else if (flag == "--stats") oo.want_stats = true;
+    else if (flag == "--stats-json") oo.stats_json = true;
+    else if (flag == "--metrics" && i + 1 < argc) oo.metrics = argv[++i];
+    else if (flag == "--trace" && i + 1 < argc) oo.trace = argv[++i];
     else if (flag == "--tune") want_tune = true;
     else if (flag == "--threads" && i + 1 < argc) {
       std::string v = argv[++i];
@@ -345,6 +459,8 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) return usage();
+  // stdout carries the metrics document: keep it free of verdict prose.
+  if (oo.metrics == "-") quiet = true;
   if (want_tune) {
     if (!engine::is_auto_threads(threads)) {
       std::cerr << "selin_check: --tune requires --threads auto\n";
@@ -355,8 +471,7 @@ int main(int argc, char** argv) {
 
   const bool multi = files.size() > 1 || jobs_given;
   if (!multi) {
-    return run_single(*kind, files[0], want_witness, quiet, want_stats,
-                      threads);
+    return run_single(*kind, files[0], want_witness, quiet, oo, threads);
   }
   if (want_witness) {
     std::cerr << "selin_check: --witness is single-history only\n";
@@ -368,5 +483,5 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  return run_multi(*kind, files, jobs, quiet, want_stats, threads);
+  return run_multi(*kind, files, jobs, quiet, oo, threads);
 }
