@@ -1,0 +1,131 @@
+// closure_hot facet — the data-oriented closure hot path in isolation
+// (PR 8: SoA frontier rows, batched prefetched dedup probes, in-place
+// response filtering).
+//
+// Two workload arms, each run with the dedup-probe prefetch on and off so
+// the A/B lands in one JSON recording:
+//
+//  * dup-heavy — bursts of distinct-value set inserts.  Set content is
+//    order-independent and every insert of a fresh value answers true, so
+//    all m! linearization orders of the same m-op subset converge on one
+//    configuration: closure emits C(k, m)·m candidates per level but only
+//    C(k, m) survive, and ~3/4 of probes are dedup *hits* — the
+//    probe/clone split (fingerprint first, clone only when fresh) and the
+//    batched probe loop are the whole cost.
+//
+//  * dup-light — bursts of distinct-value enqueues drained by FIFO
+//    dequeues.  Queue content distinguishes every emission order, so
+//    probes miss, every candidate materializes, and the response-filter
+//    swap-partition walks a genuinely wide frontier each drain step.
+//
+// The prefetch=off arms exist for the counter contrast (prefetch_batches
+// stays 0) and as an A/B guard: on a host where prefetching hurts, the
+// recording shows it.  Timings of *on vs off* on a 1-core shared runner
+// are indicative, not gated; the gate treats each arm as its own row.
+#include <benchmark/benchmark.h>
+
+#include "selin/selin.hpp"
+#include "selin/util/fp_set.hpp"
+
+namespace {
+
+using namespace selin;
+
+// `rounds` bursts of `width` simultaneously open distinct-value inserts;
+// responses close in announcement order.  Closure emissions per burst are
+// exponential in width, surviving configurations are not (orders
+// converge), so the frontier collapses to one configuration per round.
+History dup_heavy_history(size_t rounds, size_t width) {
+  auto spec = make_set_spec();
+  auto st = spec->initial();
+  History h;
+  std::vector<uint32_t> seq(width, 0);
+  Value v = 1;
+  for (size_t r = 0; r < rounds; ++r) {
+    std::vector<std::pair<OpDesc, Value>> open;
+    for (size_t p = 0; p < width; ++p) {
+      OpDesc d{OpId{static_cast<ProcId>(p), seq[p]++}, Method::kInsert, v++};
+      h.push_back(Event::inv(d));
+      open.push_back({d, st->step(d.method, d.arg)});
+    }
+    for (const auto& [d, res] : open) h.push_back(Event::res(d, res));
+  }
+  return h;
+}
+
+// `rounds` bursts of `width` open enqueues with distinct values, each
+// burst drained by `width` sequential FIFO dequeues (the drain collapses
+// the frontier back to one configuration, so rounds compose instead of
+// multiplying).
+History dup_light_history(size_t rounds, size_t width) {
+  auto spec = make_queue_spec();
+  auto st = spec->initial();
+  History h;
+  std::vector<uint32_t> seq(width + 1, 0);
+  Value v = 1;
+  for (size_t r = 0; r < rounds; ++r) {
+    std::vector<std::pair<OpDesc, Value>> open;
+    for (size_t p = 0; p < width; ++p) {
+      OpDesc d{OpId{static_cast<ProcId>(p), seq[p]++}, Method::kEnqueue, v++};
+      h.push_back(Event::inv(d));
+      open.push_back({d, st->step(d.method, d.arg)});
+    }
+    for (const auto& [d, res] : open) h.push_back(Event::res(d, res));
+    const ProcId drainer = static_cast<ProcId>(width);
+    for (size_t k = 0; k < width; ++k) {
+      OpDesc d{OpId{drainer, seq[width]++}, Method::kDequeue, 0};
+      Value res = st->step(d.method, d.arg);
+      h.push_back(Event::inv(d));
+      h.push_back(Event::res(d, res));
+    }
+  }
+  return h;
+}
+
+void run_arm(benchmark::State& state, const SeqSpec& spec, const History& h,
+             const char* arm) {
+  const bool prefetch = state.range(0) != 0;
+  FpSet::set_prefetch(prefetch);
+  engine::EngineStats last{};
+  uint64_t events = 0;
+  for (auto _ : state) {
+    LinMonitor m(spec);
+    for (const Event& e : h) m.feed(e);
+    benchmark::DoNotOptimize(m.ok());
+    last = m.stats();
+    events += h.size();
+  }
+  FpSet::set_prefetch(true);  // process-global: restore the default
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  const double probes = static_cast<double>(last.dedup_probes);
+  state.counters["dedup_probes"] = probes;
+  state.counters["dedup_hit_rate"] =
+      probes > 0 ? static_cast<double>(last.dedup_hits) / probes : 0.0;
+  state.counters["probe_batches"] = static_cast<double>(last.probe_batches);
+  state.counters["prefetch_batches"] =
+      static_cast<double>(last.prefetch_batches);
+  state.counters["filter_in_place_rounds"] =
+      static_cast<double>(last.filter_in_place_rounds);
+  state.SetLabel(std::string(arm) + "/prefetch=" + (prefetch ? "on" : "off"));
+}
+
+void BM_ClosureHotDupHeavy(benchmark::State& state) {
+  auto spec = make_set_spec();
+  History h = dup_heavy_history(/*rounds=*/24, /*width=*/8);
+  run_arm(state, *spec, h, "dup_heavy");
+}
+
+// {0, 1}: dedup-probe prefetch off / on (FpSet::set_prefetch).
+BENCHMARK(BM_ClosureHotDupHeavy)->Arg(1)->Arg(0);
+
+void BM_ClosureHotDupLight(benchmark::State& state) {
+  auto spec = make_queue_spec();
+  History h = dup_light_history(/*rounds=*/16, /*width=*/6);
+  run_arm(state, *spec, h, "dup_light");
+}
+
+BENCHMARK(BM_ClosureHotDupLight)->Arg(1)->Arg(0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -128,4 +128,21 @@ class AutoTuner {
   uint64_t updates_ = 0;
 };
 
+/// Derive warm-start engine seeds from a recorded run's stats: the engage
+/// threshold lands just under the observed peak width (so comparable storms
+/// engage promptly instead of spending kWindow rounds re-learning it),
+/// retreat keeps the fixed hysteresis ratio, and the lane seed follows the
+/// same peak/kWidthPerLane rule the tuner steps toward.  Deterministic —
+/// same stats, same priors.  Returns all-zero (no priors) when the recorded
+/// run never saw a frontier.
+inline TunerPriors priors_from_stats(const EngineStats& s) {
+  TunerPriors p;
+  if (s.peak_frontier == 0) return p;
+  p.engage = std::clamp<size_t>(s.peak_frontier / 2, AutoTuner::kMinEngage,
+                                AutoTuner::kMaxEngage);
+  p.retreat = std::max<size_t>(p.engage / AutoTuner::kHysteresisRatio, 1);
+  p.lanes = std::max<size_t>(s.peak_frontier / AutoTuner::kWidthPerLane, 1);
+  return p;
+}
+
 }  // namespace selin::engine

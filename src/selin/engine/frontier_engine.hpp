@@ -93,17 +93,42 @@ class FrontierEngine {
   /// multi-tenant deployment hands every engine the same executor so N
   /// concurrent monitors share one set of worker threads sized to the
   /// hardware instead of spawning lanes each.
+  ///
+  /// `priors`: warm-start seeds for the tuned adaptive engine (recorded from
+  /// an earlier run over a similar workload; see priors_from_stats).  Only
+  /// consulted when the knob carries kTuneFlag — they seed exactly the knobs
+  /// the AutoTuner owns, so a non-tuned engine keeps its static constants.
+  /// Nonzero fields clamp into the tuner's bounds; each applied knob counts
+  /// in EngineStats::priors_applied.  Priors shift only *when* the adaptive
+  /// engine changes representation, never what any round computes, so
+  /// verdicts/digests stay bit-identical with or without them.
   FrontierEngine(Policy policy, size_t max_configs, size_t threads,
-                 std::shared_ptr<parallel::Executor> executor = nullptr)
+                 std::shared_ptr<parallel::Executor> executor = nullptr,
+                 TunerPriors priors = {})
       : policy_(std::move(policy)), max_configs_(max_configs),
         exec_(std::move(executor)) {
     if (is_auto_threads(threads)) {
       adaptive_ = true;
       lanes_ = resolve_auto_lanes(auto_lane_request(threads));
       if (is_tuned_threads(threads)) {
-        tuner_ = std::make_unique<AutoTuner>(
-            engage_, retreat_, lanes_,
-            std::max(lanes_, resolve_auto_lanes(0)));
+        const size_t max_lanes = std::max(lanes_, resolve_auto_lanes(0));
+        if (priors.engage != 0) {
+          engage_ = std::clamp(priors.engage, AutoTuner::kMinEngage,
+                               AutoTuner::kMaxEngage);
+          ++base_stats_.priors_applied;
+        }
+        if (priors.retreat != 0) {
+          // Keep the hysteresis gap open no matter what was recorded.
+          retreat_ = std::clamp<size_t>(priors.retreat, 1, engage_ / 2);
+          ++base_stats_.priors_applied;
+        }
+        if (priors.lanes != 0 && auto_lane_request(threads) == 0) {
+          // An explicit lane request on the knob outranks the prior.
+          lanes_ = std::clamp<size_t>(priors.lanes, 1, max_lanes);
+          ++base_stats_.priors_applied;
+        }
+        tuner_ =
+            std::make_unique<AutoTuner>(engage_, retreat_, lanes_, max_lanes);
       }
     } else {
       // Strip stray flag bits (e.g. kTuneFlag without kAutoFlag) so a
@@ -248,6 +273,8 @@ class FrontierEngine {
     s.dedup_probes += e.probes;
     s.dedup_hits += e.hits;
     s.states_recycled += e.pool.recycled();
+    s.probe_batches += e.batches;
+    s.prefetch_batches += e.prefetch_batches;
   }
 
   void make_shards() {
@@ -357,26 +384,136 @@ class FrontierEngine {
   // reallocate under emit, which is why the policy receives the
   // configuration as a re-fetching accessor rather than a reference — see
   // the policy contract in policies.hpp).
+  //
+  // Data-oriented layout: candidates are buffered and their fingerprints
+  // probed in prefetched batches (probe order — and with it every dedup
+  // outcome, the result order, and the overflow point — is the emission
+  // order, exactly as the probe-per-emit loop produced).  Alongside the
+  // result the engine fills two parallel SoA rows per configuration:
+  // hot_fp_ (the fingerprint) and hot_bloom_ (the policy's match-key Bloom
+  // bits), which the response filter then scans contiguously without
+  // touching the Configs of dropped rows.  `seen` is pre-sized from the
+  // previous round's closure width so no FpSet grow lands mid-closure.
   std::vector<Config> closure() {
     eng_.seen.clear();
+    eng_.seen.reserve(std::max(frontier_.size(), last_width_));
+    hot_fp_.clear();
+    hot_bloom_.clear();
     std::vector<Config> result;
-    result.reserve(frontier_.size() * 2);
-    for (const Config& c : frontier_) {
-      if (eng_.probe(eng_.seen, c)) result.push_back(c.clone_with(eng_.pool));
-    }
-    auto emit = [&](Config&& next) {
-      if (eng_.probe(eng_.seen, next)) {
-        if (result.size() >= max_configs_) throw CheckerOverflow{};
-        result.push_back(std::move(next));
-      } else {
-        eng_.pool.release(std::move(next.state));
+    result.reserve(std::max(frontier_.size() * 2, last_width_));
+    // Seed: the frontier is already deduplicated, so every probe is fresh —
+    // the batch registers the fingerprints in `seen` and the configurations
+    // *move* in (no clone; a round where nothing expands now costs one
+    // probe batch and |frontier| moves instead of |frontier| state clones
+    // immediately released again).
+    fp_buf_.clear();
+    for (const Config& c : frontier_) fp_buf_.push_back(c.fingerprint());
+    for (size_t b = 0; b < fp_buf_.size(); b += FpSet::kMaxBatch) {
+      const size_t n = std::min(FpSet::kMaxBatch, fp_buf_.size() - b);
+      const uint64_t fresh =
+          eng_.probe_batch(eng_.seen, fp_buf_.data() + b, n,
+                           [&](size_t i) { return frontier_[b + i].key(); });
+      for (size_t i = 0; i < n; ++i) {
+        if (((fresh >> i) & 1) != 0) {
+          hot_fp_.push_back(fp_buf_[b + i]);
+          hot_bloom_.push_back(policy_.hot_bits(frontier_[b + i]));
+          result.push_back(std::move(frontier_[b + i]));
+        } else {
+          eng_.pool.release(std::move(frontier_[b + i].state));
+        }
       }
+    }
+    frontier_.clear();
+    if constexpr (Policy::kLazyExpand) {
+      expand_closure_lazy(result);
+    } else {
+      expand_closure_buffered(result);
+    }
+    last_width_ = result.size();
+    return result;
+  }
+
+  /// Expansion loop for policies with expand_lazy (LinPolicy): candidates
+  /// arrive as (stepped state, op, value, fingerprint) — no Config yet.
+  /// Fingerprints batch-probe into `seen`; only admitted candidates pay the
+  /// linearized-set copy, so the duplicate-heavy case skips the
+  /// clone-then-release churn entirely.  Buffers flush at every expand()
+  /// return (and at kMaxBatch mid-expand), preserving emission order.
+  void expand_closure_lazy(std::vector<Config>& result) {
+    auto flush = [&] {
+      const size_t n = lazy_.size();
+      if (n == 0) return;
+      fp_buf_.clear();
+      for (const LazyCand& lc : lazy_) fp_buf_.push_back(lc.fp);
+      const uint64_t fresh =
+          eng_.probe_batch(eng_.seen, fp_buf_.data(), n, [&](size_t i) {
+            const LazyCand& lc = lazy_[i];
+            return Policy::candidate_key(
+                *lc.st, result[lc.parent].linearized, lc.id, lc.v);
+          });
+      for (size_t i = 0; i < n; ++i) {
+        LazyCand& lc = lazy_[i];
+        if (((fresh >> i) & 1) == 0) {
+          eng_.pool.release(std::move(lc.st));
+          continue;
+        }
+        if (result.size() >= max_configs_) throw CheckerOverflow{};
+        Config next;
+        next.state = std::move(lc.st);
+        next.linearized = result[lc.parent].linearized;
+        next.add(lc.id, lc.v);
+        hot_fp_.push_back(lc.fp);
+        hot_bloom_.push_back(hot_bloom_[lc.parent] |
+                             lincheck::match_bit(lincheck::seq_major(lc.id)));
+        result.push_back(std::move(next));
+      }
+      lazy_.clear();
     };
     for (size_t i = 0; i < result.size(); ++i) {
       auto cfg = [&result, i]() -> const Config& { return result[i]; };
-      policy_.expand(eng_.pool, scratch_[0], open_span(), cfg, emit);
+      policy_.expand_lazy(
+          eng_.pool, scratch_[0], open_span(), cfg,
+          [&](std::unique_ptr<SeqState> st, OpId id, Value v, uint64_t fp) {
+            lazy_.push_back(LazyCand{std::move(st), id, v, fp, i});
+            if (lazy_.size() == FpSet::kMaxBatch) flush();
+          });
+      flush();
     }
-    return result;
+  }
+
+  /// Expansion loop for batch-linearizing policies (SetLin/Interval):
+  /// candidates are full Configs, but probes still resolve in prefetched
+  /// batches with the grow check hoisted out of the per-probe path.
+  void expand_closure_buffered(std::vector<Config>& result) {
+    auto flush = [&] {
+      const size_t n = pend_.size();
+      if (n == 0) return;
+      fp_buf_.clear();
+      for (const Config& c : pend_) fp_buf_.push_back(c.fingerprint());
+      const uint64_t fresh =
+          eng_.probe_batch(eng_.seen, fp_buf_.data(), n,
+                           [&](size_t i) { return pend_[i].key(); });
+      for (size_t i = 0; i < n; ++i) {
+        if (((fresh >> i) & 1) == 0) {
+          eng_.pool.release(std::move(pend_[i].state));
+          continue;
+        }
+        if (result.size() >= max_configs_) throw CheckerOverflow{};
+        hot_fp_.push_back(fp_buf_[i]);
+        hot_bloom_.push_back(policy_.hot_bits(pend_[i]));
+        result.push_back(std::move(pend_[i]));
+      }
+      pend_.clear();
+    };
+    for (size_t i = 0; i < result.size(); ++i) {
+      auto cfg = [&result, i]() -> const Config& { return result[i]; };
+      policy_.expand(eng_.pool, scratch_[0], open_span(), cfg,
+                     [&](Config&& next) {
+                       pend_.push_back(std::move(next));
+                       if (pend_.size() == FpSet::kMaxBatch) flush();
+                     });
+      flush();
+    }
   }
 
   /// One closure round servicing a run of consecutive response events.
@@ -441,25 +578,66 @@ class FrontierEngine {
     std::vector<Config> cur = closure();
     for (const Event& e : run) {
       ++base_stats_.events_fed;
-      std::vector<Config> filtered;
-      filtered.reserve(cur.size());
-      eng_.filter_seen.clear();
-      for (Config& c : cur) {
-        if (!policy_.match(c, e)) {
-          eng_.pool.release(std::move(c.state));
-          continue;
-        }
-        if (eng_.probe(eng_.filter_seen, c)) {
-          filtered.push_back(std::move(c));
-        } else {
-          eng_.pool.release(std::move(c.state));
-        }
-      }
-      cur = std::move(filtered);
+      filter_in_place(cur, e);
       if (!settle_response(e, cur.size())) break;
     }
-    for (Config& c : frontier_) eng_.pool.release(std::move(c.state));
+    // closure() moved the old frontier out, so `cur` simply takes its place.
     frontier_ = std::move(cur);
+  }
+
+  /// Allocation-free response filter over the closure set: no `filtered`
+  /// vector — survivors compact to the front of `cur` in place (stable, so
+  /// the surviving order matches the old copy-out loop bit for bit).  The
+  /// pass scans the SoA hot rows closure() built: a configuration whose
+  /// Bloom bits exclude the event's op provably cannot match and drops
+  /// without the exact match() call; survivors' fingerprints are patched by
+  /// the policy's per-event match delta (match never touches machine state)
+  /// instead of recomputed, then dedup in prefetched batches against a
+  /// filter_seen pre-sized to the survivor count.  The collision audit
+  /// cross-checks every patched fingerprint against the mutated
+  /// configuration's canonical key, so the delta arithmetic is verified in
+  /// debug/audit builds.
+  void filter_in_place(std::vector<Config>& cur, const Event& e) {
+    ++base_stats_.filter_in_place_rounds;
+    const uint64_t bit = lincheck::match_bit(lincheck::seq_major(e.op.id));
+    const uint64_t delta = policy_.match_delta(e);
+    size_t w = 0;
+    for (size_t i = 0; i < cur.size(); ++i) {
+      if ((hot_bloom_[i] & bit) == 0 || !policy_.match(cur[i], e)) {
+        eng_.pool.release(std::move(cur[i].state));
+        continue;
+      }
+      if (w != i) {
+        cur[w] = std::move(cur[i]);
+        hot_bloom_[w] = hot_bloom_[i];
+      }
+      hot_fp_[w] = hot_fp_[i] ^ delta;
+      ++w;
+    }
+    eng_.filter_seen.clear();
+    eng_.filter_seen.reserve(w);
+    size_t out = 0;
+    for (size_t b = 0; b < w; b += FpSet::kMaxBatch) {
+      const size_t n = std::min(FpSet::kMaxBatch, w - b);
+      const uint64_t fresh =
+          eng_.probe_batch(eng_.filter_seen, hot_fp_.data() + b, n,
+                           [&](size_t i) { return cur[b + i].key(); });
+      for (size_t i = 0; i < n; ++i) {
+        if (((fresh >> i) & 1) == 0) {
+          eng_.pool.release(std::move(cur[b + i].state));
+          continue;
+        }
+        if (out != b + i) {
+          cur[out] = std::move(cur[b + i]);
+          hot_fp_[out] = hot_fp_[b + i];
+          hot_bloom_[out] = hot_bloom_[b + i];
+        }
+        ++out;
+      }
+    }
+    cur.resize(out);
+    hot_fp_.resize(out);
+    hot_bloom_.resize(out);
   }
 
   void run_res_parallel(std::span<const Event> run) {
@@ -479,6 +657,12 @@ class FrontierEngine {
   void release_everything() {
     for (Config& c : frontier_) eng_.pool.release(std::move(c.state));
     frontier_.clear();
+    for (LazyCand& lc : lazy_) eng_.pool.release(std::move(lc.st));
+    lazy_.clear();
+    for (Config& c : pend_) eng_.pool.release(std::move(c.state));
+    pend_.clear();
+    hot_fp_.clear();
+    hot_bloom_.clear();
     if (shards_ != nullptr) shards_->release_all();
   }
 
@@ -521,6 +705,26 @@ class FrontierEngine {
   // Sequential representation.
   std::vector<Config> frontier_;
   lincheck::DedupEngine eng_;
+
+  // Data-oriented hot-path storage for the sequential engine.  hot_fp_ and
+  // hot_bloom_ are SoA rows parallel to the closure vector (fingerprint and
+  // match-key Bloom bits of result[i]); fp_buf_ is the batch-probe scratch;
+  // lazy_/pend_ buffer not-yet-admitted expansion candidates between probe
+  // flushes.  All retain capacity across rounds — steady state allocates
+  // nothing here.
+  struct LazyCand {
+    std::unique_ptr<SeqState> st;
+    OpId id;
+    Value v;
+    uint64_t fp;
+    size_t parent;  // index into the closure vector
+  };
+  size_t last_width_ = 0;          // previous closure width (pre-sizing seed)
+  std::vector<uint64_t> hot_fp_;
+  std::vector<uint64_t> hot_bloom_;
+  std::vector<uint64_t> fp_buf_;
+  std::vector<LazyCand> lazy_;     // lazy candidates (Policy::kLazyExpand)
+  std::vector<Config> pend_;       // buffered Configs (batch policies)
 
   // Sharded representation (constructed lazily; adaptive engines may never
   // need it, and eagerly cloned monitors must stay cheap while dormant).

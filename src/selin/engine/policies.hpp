@@ -41,6 +41,10 @@ struct LinPolicy {
   using Config = lincheck::Config;
   struct alignas(64) Scratch {};
 
+  /// The sequential engine runs this policy through expand_lazy (candidate
+  /// fingerprints first, Config assembly only after the dedup probe admits).
+  static constexpr bool kLazyExpand = true;
+
   const SeqSpec* spec;
 
   std::unique_ptr<SeqState> initial_state() const { return spec->initial(); }
@@ -58,12 +62,80 @@ struct LinPolicy {
     }
   }
 
+  /// Two-stage expansion for the batched-probe closure: per applicable open
+  /// op, step a pooled state clone and hand the engine the successor's
+  /// fingerprint *without* building the Config — the linearized set of the
+  /// successor is the parent's plus one entry, so its hash (and hence the
+  /// full fingerprint) is one XOR away from the parent's cached hash.  The
+  /// engine probes the fingerprints in a prefetched batch and copies the
+  /// parent's set only for admitted candidates; rejected ones cost a state
+  /// round-trip through the pool and nothing else.
+  /// emit(state, id, assigned, fp); same emission order as expand().
+  template <typename GetCfg, typename EmitCand>
+  void expand_lazy(lincheck::StatePool& pool, Scratch&,
+                   std::span<const OpDesc> open, GetCfg&& cfg,
+                   EmitCand&& emit) const {
+    for (const OpDesc& od : open) {
+      const Config& c = cfg();  // re-fetch: emit may flush and move the parent
+      if (c.find(od.id) != nullptr) continue;
+      std::unique_ptr<SeqState> st = pool.acquire(*c.state);
+      Value assigned = st->step(od.method, od.arg);
+      const uint64_t fp =
+          st->fingerprint() ^ c.linearized.hash() ^
+          lincheck::lin_elem(lincheck::seq_major(od.id), assigned);
+      emit(std::move(st), od.id, assigned, fp);
+    }
+  }
+
+  /// Canonical key of a lazy candidate (audit builds): what the materialized
+  /// Config's key() would be — the stepped state, then the parent's entries
+  /// with (id, assigned) spliced in seq-major order.
+  static std::string candidate_key(const SeqState& st,
+                                   const lincheck::LinSet& parent, OpId id,
+                                   Value assigned) {
+    std::ostringstream os;
+    os << st.encode() << "|";
+    const uint64_t nk = lincheck::seq_major(id);
+    bool placed = false;
+    auto put = [&os](uint64_t k, Value v) {
+      OpId i = lincheck::id_of_key(k);
+      os << i.pid << "." << i.seq << "=" << v << ";";
+    };
+    parent.for_each([&](uint64_t k, Value v) {
+      if (!placed && nk < k) {
+        put(nk, assigned);
+        placed = true;
+      }
+      put(k, v);
+    });
+    if (!placed) put(nk, assigned);
+    return os.str();
+  }
+
   // Every surviving configuration must have linearized e.op with exactly the
   // observed result; the op then leaves the linearized set.  Fused into one
   // run search (remove_if_equals) — the filter runs once per response per
   // closure configuration.
   bool match(Config& c, const Event& e) const {
     return c.remove_if_equals(e.op.id, e.result);
+  }
+
+  /// Fingerprint delta of a successful match(c, e): match only removes the
+  /// (op, result) entry from the linearized set — machine state is never
+  /// touched — so the post-match fingerprint is the pre-match one XOR this,
+  /// computable once per event instead of once per survivor (the SoA filter
+  /// pass keys on it; the collision audit cross-checks the arithmetic).
+  uint64_t match_delta(const Event& e) const {
+    return lincheck::lin_elem(lincheck::seq_major(e.op.id), e.result);
+  }
+
+  /// Bloom bits of the response-relevant set (the linearized ops): the SoA
+  /// hot-row over-approximation the filter pass consults before match().
+  uint64_t hot_bits(const Config& c) const {
+    uint64_t bits = 0;
+    c.linearized.for_each(
+        [&bits](uint64_t k, Value) { bits |= lincheck::match_bit(k); });
+    return bits;
   }
 };
 
@@ -79,6 +151,11 @@ struct SetLinPolicy {
     std::vector<Value> out;
     std::vector<std::pair<uint64_t, Value>> kv;  // sorted (key, value) runs
   };
+
+  /// Successor sets here add a whole batch of entries, so the engine buffers
+  /// full Configs and batch-probes their fingerprints instead (the lazy
+  /// one-XOR delta trick is LinPolicy-shaped).
+  static constexpr bool kLazyExpand = false;
 
   const SetSeqSpec* spec;
 
@@ -132,6 +209,18 @@ struct SetLinPolicy {
 
   bool match(Config& c, const Event& e) const {
     return c.remove_if_equals(e.op.id, e.result);
+  }
+
+  /// Same filter as LinPolicy: match removes one (op, result) entry.
+  uint64_t match_delta(const Event& e) const {
+    return lincheck::lin_elem(lincheck::seq_major(e.op.id), e.result);
+  }
+
+  uint64_t hot_bits(const Config& c) const {
+    uint64_t bits = 0;
+    c.linearized.for_each(
+        [&bits](uint64_t k, Value) { bits |= lincheck::match_bit(k); });
+    return bits;
   }
 };
 
@@ -268,6 +357,10 @@ struct IntervalPolicy {
     std::vector<uint64_t> keys;  // seq-major batch keys for the range union
   };
 
+  /// Invoke-subset successors mutate two sets at once; the engine uses the
+  /// generic buffered batch-probe path.
+  static constexpr bool kLazyExpand = false;
+
   const IntervalSeqSpec* spec;
 
   std::unique_ptr<SeqState> initial_state() const { return spec->initial(); }
@@ -321,6 +414,24 @@ struct IntervalPolicy {
   // The op leaves the machine and the history bookkeeping.
   bool match(IConfig& c, const Event& e) const {
     return c.retire_if_assigned(e.op.id, e.result);
+  }
+
+  /// Fingerprint delta of a successful match: retire_if_assigned removes
+  /// the (op, result) entry from `assigned` AND the op's key from
+  /// `machine_open` (machine state untouched), so the post-match
+  /// fingerprint is pre-match XOR both element hashes.
+  uint64_t match_delta(const Event& e) const {
+    const uint64_t k = lincheck::seq_major(e.op.id);
+    return lincheck::lin_elem(k, e.result) ^ open_elem(k);
+  }
+
+  /// The response-relevant set is `assigned` alone: match() fails whenever
+  /// the op lacks an assignment, regardless of machine_open membership.
+  uint64_t hot_bits(const IConfig& c) const {
+    uint64_t bits = 0;
+    c.assigned.for_each(
+        [&bits](uint64_t k, Value) { bits |= lincheck::match_bit(k); });
+    return bits;
   }
 
  private:

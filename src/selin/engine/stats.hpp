@@ -75,6 +75,30 @@ struct EngineStats {
   size_t retreat_width = 0;      ///< current sharded→sequential threshold
   uint64_t mode_switches = 0;    ///< representation migrations either way
   uint64_t tuner_updates = 0;    ///< AutoTuner windows that changed a knob
+
+  // Data-oriented hot-path counters (PR 8).
+  uint64_t probe_batches = 0;    ///< batched dedup probe groups resolved
+  uint64_t prefetch_batches = 0;  ///< groups that issued slot prefetches
+  uint64_t filter_in_place_rounds = 0;  ///< in-place swap-partition filters
+  uint64_t priors_applied = 0;   ///< tuner knobs seeded from TunerPriors
+};
+
+/// Warm-start seeds for the adaptive engine and the leveled checker,
+/// derived from a *recorded* run over a similar workload (engine stats for
+/// the engage/retreat/lane knobs, LeveledChecker counters for the
+/// checkpointing knobs).  Zero fields mean "no prior — keep the default";
+/// a monitor constructed with priors counts each knob it seeds in
+/// EngineStats::priors_applied.  Derivation helpers live next to the
+/// consumers: engine::priors_from_stats (auto_tuner.hpp) and
+/// LeveledChecker::recommend_priors (views/leveled_history.hpp).
+struct TunerPriors {
+  size_t engage = 0;   ///< sequential→sharded width threshold seed
+  size_t retreat = 0;  ///< sharded→sequential width threshold seed
+  size_t lanes = 0;    ///< parallel-round lane count seed
+  size_t stride = 0;   ///< leveled checkpoint stride seed
+  size_t stripe = 0;   ///< leveled async snapshot stripe width seed
+
+  bool any_engine() const { return engage != 0 || retreat != 0 || lanes != 0; }
 };
 
 /// Aggregate op-set footprint of a live frontier (bench_frontier_memory).

@@ -70,6 +70,16 @@ constexpr uint64_t lin_elem(uint64_t key, Value assigned) {
   return fph::lin_op((key << 32) | (key >> 32), assigned);
 }
 
+/// One Bloom bit per op id for the SoA filter pass (engine hot rows): the
+/// OR of these bits over a configuration's response-relevant set is a
+/// monotone over-approximation of "this op might match here" — bits are
+/// never cleared when an op leaves the set, so a clear bit proves the
+/// configuration drops and the exact match() call is skipped; a set bit
+/// falls through to match().
+constexpr uint64_t match_bit(uint64_t seq_major_key) {
+  return uint64_t{1} << (fph::mix(seq_major_key) & 63);
+}
+
 /// The linearized-but-unresponded op set: seq-major keys -> assigned values,
 /// run-length compressed with the incremental fph::lin_op hash.
 using LinSet = ValueRunSet<lin_elem>;
@@ -210,8 +220,10 @@ struct DedupEngine {
   FpSet seen{arena};         // closure expansion dedup
   FpSet filter_seen{arena};  // response-filter dedup
   StatePool pool;
-  uint64_t probes = 0;  // dedup probes issued (engine stats)
-  uint64_t hits = 0;    // probes that found a duplicate
+  uint64_t probes = 0;   // dedup probes issued (engine stats)
+  uint64_t hits = 0;     // probes that found a duplicate
+  uint64_t batches = 0;  // probe_batch groups resolved
+  uint64_t prefetch_batches = 0;  // groups that issued slot prefetches
 
   /// Audit `fp` against the canonical key (built lazily; debug builds only).
   template <typename KeyFn>
@@ -234,6 +246,30 @@ struct DedupEngine {
     ++probes;
     bool fresh = set.insert(fp);
     if (!fresh) ++hits;
+    return fresh;
+  }
+
+  /// Batched dedup probe over precomputed fingerprints (n <= 64): one
+  /// capacity check and one prefetch sweep for the whole group, probe order
+  /// and counter deltas identical to n probe() calls.  Bit i of the result
+  /// is set iff fps[i] was fresh.  `key(i)` builds the i-th candidate's
+  /// canonical audit key lazily (audit builds only).
+  template <typename KeyFn>
+  uint64_t probe_batch(FpSet& set, const uint64_t* fps, size_t n,
+                       KeyFn&& key) {
+#if SELIN_FP_AUDIT
+    for (size_t i = 0; i < n; ++i) audit(fps[i], [&] { return key(i); });
+#else
+    (void)key;
+#endif
+    if (n == 0) return 0;
+    probes += n;
+    const uint64_t fresh = set.probe_batch(fps, n);
+    size_t kept = 0;
+    for (uint64_t m = fresh; m != 0; m &= m - 1) ++kept;
+    hits += n - kept;
+    ++batches;
+    if (FpSet::prefetch_enabled() && n >= 2) ++prefetch_batches;
     return fresh;
   }
 

@@ -10,9 +10,10 @@ namespace {
 class LinearizableObject final : public GenLinObject {
  public:
   LinearizableObject(std::unique_ptr<SeqSpec> spec, size_t max_configs,
-                     size_t threads, std::shared_ptr<parallel::Executor> exec)
+                     size_t threads, std::shared_ptr<parallel::Executor> exec,
+                     engine::TunerPriors priors)
       : spec_(std::move(spec)), max_configs_(max_configs), threads_(threads),
-        exec_(std::move(exec)) {}
+        exec_(std::move(exec)), priors_(priors) {}
 
   const char* name() const override { return spec_->name(); }
 
@@ -23,7 +24,7 @@ class LinearizableObject final : public GenLinObject {
   std::unique_ptr<MembershipMonitor> monitor(size_t threads) const override {
     return std::make_unique<LinMonitor>(*spec_, max_configs_,
                                         threads == 0 ? threads_ : threads,
-                                        exec_);
+                                        exec_, priors_);
   }
 
  private:
@@ -31,15 +32,17 @@ class LinearizableObject final : public GenLinObject {
   size_t max_configs_;
   size_t threads_;
   std::shared_ptr<parallel::Executor> exec_;
+  engine::TunerPriors priors_;
 };
 
 class SetLinearizableObject final : public GenLinObject {
  public:
   SetLinearizableObject(std::unique_ptr<SetSeqSpec> spec, size_t max_configs,
                         size_t threads,
-                        std::shared_ptr<parallel::Executor> exec)
+                        std::shared_ptr<parallel::Executor> exec,
+                        engine::TunerPriors priors)
       : spec_(std::move(spec)), max_configs_(max_configs), threads_(threads),
-        exec_(std::move(exec)) {}
+        exec_(std::move(exec)), priors_(priors) {}
 
   const char* name() const override { return spec_->name(); }
 
@@ -50,7 +53,7 @@ class SetLinearizableObject final : public GenLinObject {
   std::unique_ptr<MembershipMonitor> monitor(size_t threads) const override {
     return std::make_unique<SetLinMonitor>(*spec_, max_configs_,
                                            threads == 0 ? threads_ : threads,
-                                           exec_);
+                                           exec_, priors_);
   }
 
  private:
@@ -58,22 +61,23 @@ class SetLinearizableObject final : public GenLinObject {
   size_t max_configs_;
   size_t threads_;
   std::shared_ptr<parallel::Executor> exec_;
+  engine::TunerPriors priors_;
 };
 
 }  // namespace
 
 std::unique_ptr<GenLinObject> make_linearizable_object(
     std::unique_ptr<SeqSpec> spec, size_t max_configs, size_t threads,
-    std::shared_ptr<parallel::Executor> executor) {
-  return std::make_unique<LinearizableObject>(std::move(spec), max_configs,
-                                              threads, std::move(executor));
+    std::shared_ptr<parallel::Executor> executor, engine::TunerPriors priors) {
+  return std::make_unique<LinearizableObject>(
+      std::move(spec), max_configs, threads, std::move(executor), priors);
 }
 
 std::unique_ptr<GenLinObject> make_set_linearizable_object(
     std::unique_ptr<SetSeqSpec> spec, size_t max_configs, size_t threads,
-    std::shared_ptr<parallel::Executor> executor) {
+    std::shared_ptr<parallel::Executor> executor, engine::TunerPriors priors) {
   return std::make_unique<SetLinearizableObject>(
-      std::move(spec), max_configs, threads, std::move(executor));
+      std::move(spec), max_configs, threads, std::move(executor), priors);
 }
 
 }  // namespace selin

@@ -193,6 +193,11 @@ std::string engine_stats_json(const engine::EngineStats& s) {
   out += ",\"retreat_width\":" + std::to_string(s.retreat_width);
   out += ",\"mode_switches\":" + std::to_string(s.mode_switches);
   out += ",\"tuner_updates\":" + std::to_string(s.tuner_updates);
+  out += ",\"probe_batches\":" + std::to_string(s.probe_batches);
+  out += ",\"prefetch_batches\":" + std::to_string(s.prefetch_batches);
+  out += ",\"filter_in_place_rounds\":" +
+         std::to_string(s.filter_in_place_rounds);
+  out += ",\"priors_applied\":" + std::to_string(s.priors_applied);
   out += "}";
   return out;
 }
@@ -214,6 +219,10 @@ void sample_engine_stats(MetricsRegistry& reg, const engine::EngineStats& s,
   set("engine_retreat_width", s.retreat_width);
   set("engine_mode_switches", s.mode_switches);
   set("engine_tuner_updates", s.tuner_updates);
+  set("engine_probe_batches", s.probe_batches);
+  set("engine_prefetch_batches", s.prefetch_batches);
+  set("engine_filter_in_place_rounds", s.filter_in_place_rounds);
+  set("engine_priors_applied", s.priors_applied);
 }
 
 }  // namespace selin::obs

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "selin/obs/hooks.hpp"
 
 namespace selin::parallel {
@@ -17,9 +22,28 @@ size_t resolve_lanes(size_t requested) {
   size_t hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
+
+// Pin `t` to core `lane mod cores` (best effort; failures are ignored —
+// placement is a performance hint, never a correctness requirement).
+void pin_to_core(std::thread& t, size_t lane) {
+#ifdef __linux__
+  const size_t hw = std::thread::hardware_concurrency();
+  if (hw <= 1) return;  // single core: pinning is a pure no-op
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(lane % hw), &set);
+  pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+#else
+  (void)t;
+  (void)lane;
+#endif
+}
 }  // namespace
 
 Executor::Executor(size_t lanes) : n_(resolve_lanes(lanes)) {}
+
+Executor::Executor(const ExecutorOptions& opts)
+    : n_(resolve_lanes(opts.lanes)), pin_(opts.pin_lanes) {}
 
 Executor::~Executor() {
   {
@@ -41,6 +65,7 @@ void Executor::ensure_workers_locked() {
   workers_.reserve(n_);
   for (size_t i = 0; i < n_; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+    if (pin_) pin_to_core(workers_.back(), i);
   }
   spawned_.store(workers_.size(), std::memory_order_release);
 }

@@ -62,10 +62,24 @@ struct ExecutorHooks;  // obs/hooks.hpp — instrumentation bundle, borrowed
 
 namespace selin::parallel {
 
+/// Construction-time placement policy of an Executor.
+struct ExecutorOptions {
+  /// Worker-thread cap; 0 resolves from the hardware.
+  size_t lanes = 0;
+  /// Pin worker lane i to core i mod hardware_concurrency() when the
+  /// platform supports it (Linux).  Opt-in: pinning helps a dedicated host
+  /// (lanes keep their cache-warm frontier shards) and hurts a shared one
+  /// (the scheduler can no longer migrate around noisy neighbours).  A
+  /// no-op on single-core hosts and platforms without affinity control;
+  /// placement never affects what any lane computes.
+  bool pin_lanes = false;
+};
+
 class Executor {
  public:
   /// `lanes` = worker-thread cap; 0 resolves from the hardware.
   explicit Executor(size_t lanes = 0);
+  explicit Executor(const ExecutorOptions& opts);
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
   ~Executor();
@@ -122,6 +136,7 @@ class Executor {
   bool run_some();
 
   size_t n_;
+  bool pin_ = false;  // ExecutorOptions::pin_lanes (applied at lane spawn)
   std::atomic<size_t> spawned_{0};
   std::atomic<const obs::ExecutorHooks*> obs_{nullptr};
 

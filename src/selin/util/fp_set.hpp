@@ -13,6 +13,7 @@
 //    the hot path entirely.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 
@@ -22,6 +23,9 @@ namespace selin {
 
 class FpSet {
  public:
+  /// Upper bound on one probe_batch() group — the result is a uint64_t
+  /// bitmask, one bit per probed fingerprint.
+  static constexpr size_t kMaxBatch = 64;
   /// The table is allocated lazily on first insert: monitors are cloned
   /// eagerly (e.g. the leveled checker's checkpoint copies every few levels)
   /// and most clones stay dormant, so an empty set must cost nothing.
@@ -55,6 +59,67 @@ class FpSet {
   bool insert(uint64_t fp) {
     if (slots_ == nullptr) slots_ = fresh_table(cap_);
     if ((size_ + 1) * 4 > cap_ * 3) grow();  // load factor 3/4
+    return insert_unchecked(fp);
+  }
+
+  /// Ensure capacity for `n` live keys without a grow on any later insert
+  /// below that count.  Cheap before the table exists (just raises the lazy
+  /// allocation size); afterwards it performs the doubling rehashes up
+  /// front, which is the point: callers pre-size from the previous round's
+  /// width so no grow lands mid-closure.
+  void reserve(size_t n) {
+    if (slots_ == nullptr) {
+      while (n * 4 > cap_ * 3) cap_ *= 2;
+      return;
+    }
+    while (n * 4 > cap_ * 3) grow();
+  }
+
+  /// Group probe of `n <= kMaxBatch` fingerprints: one hoisted capacity
+  /// check for the whole batch, one prefetch sweep over every home slot
+  /// (each probe is otherwise a dependent random load), then the probes
+  /// resolve in order.  Bit i of the result is set iff fps[i] was new (and
+  /// is now inserted); duplicates *within* the batch resolve exactly as n
+  /// sequential insert() calls would — the first occurrence inserts, later
+  /// ones miss.
+  uint64_t probe_batch(const uint64_t* fps, size_t n) {
+    if (n == 0) return 0;
+    if (slots_ == nullptr) slots_ = fresh_table(cap_);
+    reserve(size_ + n);
+    if (prefetch_enabled() && n >= 2) {
+      const size_t mask = cap_ - 1;
+      for (size_t k = 0; k < n; ++k) {
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(&slots_[fps[k] & mask], 0, 1);
+#endif
+      }
+    }
+    uint64_t fresh = 0;
+    for (size_t k = 0; k < n; ++k) {
+      if (insert_unchecked(fps[k])) fresh |= uint64_t{1} << k;
+    }
+    return fresh;
+  }
+
+  /// Global prefetch toggle (A/B attribution in bench_closure_hot).  Relaxed
+  /// atomic: lanes may observe a flip mid-run, which only changes whether
+  /// prefetches are issued, never a probe result.
+  static void set_prefetch(bool on) {
+    prefetch_flag().store(on, std::memory_order_relaxed);
+  }
+  static bool prefetch_enabled() {
+    return prefetch_flag().load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::atomic<bool>& prefetch_flag() {
+    static std::atomic<bool> on{true};
+    return on;
+  }
+
+  /// insert() with the capacity check hoisted out (probe_batch's per-probe
+  /// body); the caller guarantees room for one more key.
+  bool insert_unchecked(uint64_t fp) {
     size_t mask = cap_ - 1;
     size_t i = fp & mask;
     while (slots_[i].epoch == epoch_) {
@@ -67,7 +132,6 @@ class FpSet {
     return true;
   }
 
- private:
   struct Slot {
     uint64_t key;
     uint64_t epoch;  // live iff epoch == FpSet::epoch_ (0 = never used)

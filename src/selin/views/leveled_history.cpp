@@ -69,7 +69,8 @@ History XBuilder::flatten() const {
 
 LeveledChecker::LeveledChecker(const GenLinObject& obj, const Options& opts)
     : obj_(&obj), stride_(opts.stride == 0 ? 1 : opts.stride),
-      threads_(opts.threads), snapshot_lanes_(opts.snapshot_lanes) {
+      threads_(opts.threads), snapshot_lanes_(opts.snapshot_lanes),
+      stripe_(opts.stripe < 2 ? kStripe : opts.stripe) {
   if (snapshot_lanes_ > 0) {
     lanes_ = std::make_unique<parallel::TaskLanes>(snapshot_lanes_,
                                                    opts.executor);
@@ -144,7 +145,7 @@ void LeveledChecker::stride_boundary() {
   // Interior boundary: its checkpoint is owed by the stripe's lane job.
   stripe_chunks_.push_back(std::move(chunk_));
   chunk_.clear();
-  if (stripe_chunks_.size() == kStripe - 1) {
+  if (stripe_chunks_.size() == stripe_ - 1) {
     post_stripe();
     stripe_open_ = false;
   }

@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "selin/engine/stats.hpp"
 #include "selin/parallel/task_lanes.hpp"
 #include "selin/spec/spec.hpp"
 #include "selin/views/lambda.hpp"
@@ -117,8 +118,13 @@ class LeveledChecker {
     size_t threads = 0;
     /// 0 = checkpoints cloned inline at every stride boundary (the fully
     /// synchronous discipline).  N > 0 = deferred snapshotting: seeds
-    /// inline every kStripe-th boundary, interiors rebuilt on N lanes.
+    /// inline every stripe-th boundary, interiors rebuilt on N lanes.
     size_t snapshot_lanes = 0;
+    /// Async snapshot stripe width (boundaries per stripe; < 2 = kStripe).
+    /// Narrower stripes bound rollback slack tighter at the cost of more
+    /// inline seed clones — recommend_priors() seeds this from observed
+    /// storm widths.
+    size_t stripe = kStripe;
     /// Shared lane provider for the snapshot lanes (nullptr = a private
     /// executor created lazily on the first stripe post).  Multi-tenant
     /// deployments pass one executor so N checkers' deferred snapshot work
@@ -182,6 +188,32 @@ class LeveledChecker {
   /// replayed_levels()).
   size_t peak_storm_records() const { return peak_storm_records_; }
 
+  /// Warm-start seeds for a comparable future run, derived from this
+  /// checker's own rollback/replay counters (the leveled analog of
+  /// engine::priors_from_stats; feed the result into Options::stride /
+  /// Options::stripe, and its engine fields stay zero).  An append-only run
+  /// relaxes the stride (checkpoints were pure overhead); a replay-heavy
+  /// one snaps the stride to the power of two covering the mean levels
+  /// replayed per rollback, so the nearest checkpoint lands about one
+  /// observed replay below a typical dirty level.  Storms wider than a
+  /// stripe halve the stripe width — narrower stripes bound how far a
+  /// rollback can land in a not-yet-rebuilt gap.  Deterministic: same
+  /// counters, same seeds; the knobs only shift where checkpoints
+  /// materialize, never the verdict sequence.
+  engine::TunerPriors recommend_priors() const {
+    engine::TunerPriors p;
+    if (rollbacks_ == 0) {
+      p.stride = 32;
+    } else {
+      const uint64_t avg = replayed_levels_ / rollbacks_;
+      size_t s = 4;
+      while (s < 64 && s < avg) s *= 2;
+      p.stride = s;
+    }
+    p.stripe = peak_storm_records_ > kStripe ? 2 : kStripe;
+    return p;
+  }
+
  private:
   /// A stripe's interior-checkpoint rebuild, shared with one snapshot lane:
   /// the lane clones the seed, folds the event chunks, and parks the
@@ -212,6 +244,7 @@ class LeveledChecker {
   size_t stride_;
   size_t threads_ = 0;
   size_t snapshot_lanes_ = 0;
+  size_t stripe_ = kStripe;  // Options::stripe (async snapshot stripe width)
   std::unique_ptr<MembershipMonitor> cur_;  // state after levels [0, fed_)
   size_t fed_ = 0;                          // levels consumed by cur_
   /// checkpoints_[i] = monitor state after (i+1)*stride_ levels; nullptr

@@ -258,6 +258,75 @@ TEST(LeveledParallel, RollbackReleasesCheckpointsEagerly) {
 
 // ---- auto-tuner -----------------------------------------------------------
 
+TEST(LeveledParallel, StripeOptionPreservesVerdictsAndRollbackCounts) {
+  StormBatch storm = make_storm(ObjectKind::kQueue, 3, 36, 5);
+  auto obj = make_linearizable_object(make_queue_spec());
+  auto run = [&](size_t stripe) {
+    XBuilder b;
+    LeveledChecker checker(
+        *obj, LeveledChecker::Options{4, engine::auto_threads(2), 2, stripe});
+    std::vector<bool> verdicts;
+    for (size_t i : storm.publish_order)
+      verdicts.push_back(checker.resync(b, b.add(&storm.records[i])));
+    return std::pair{verdicts, checker.rollbacks()};
+  };
+  auto [v_default, r_default] = run(LeveledChecker::kStripe);
+  auto [v_narrow, r_narrow] = run(2);
+  auto [v_wide, r_wide] = run(8);
+  EXPECT_EQ(v_narrow, v_default);
+  EXPECT_EQ(v_wide, v_default);
+  // Stripe width changes snapshot placement, not what gets replayed.
+  EXPECT_EQ(r_narrow, r_default);
+  EXPECT_EQ(r_wide, r_default);
+  // stripe < 2 falls back to the default width rather than degenerating.
+  auto [v_degenerate, r_degenerate] = run(1);
+  EXPECT_EQ(v_degenerate, v_default);
+  EXPECT_EQ(r_degenerate, r_default);
+}
+
+TEST(LeveledParallel, RecommendedPriorsFollowObservedRollbackShape) {
+  auto obj = make_linearizable_object(make_queue_spec());
+
+  // Untouched checker: nothing rolled back, so the recommendation is the
+  // aggressive profile — long stride, default stripe.
+  LeveledChecker fresh(*obj, LeveledChecker::Options{4, 1, 0});
+  engine::TunerPriors calm = fresh.recommend_priors();
+  EXPECT_EQ(calm.stride, 32u);
+  EXPECT_EQ(calm.stripe, LeveledChecker::kStripe);
+  EXPECT_FALSE(calm.any_engine());  // engine knobs stay unset
+
+  // A storm-shaped run: rollbacks happened, so stride follows the observed
+  // mean replay depth (a power of two in [4, 64]) and a deep storm backlog
+  // narrows the stripe.
+  StormBatch storm = make_storm(ObjectKind::kQueue, 4, 48, 9, 10);
+  XBuilder b;
+  LeveledChecker stormy(*obj, LeveledChecker::Options{4, 0, 2});
+  std::vector<size_t> dirty;
+  const size_t group = 6;
+  for (size_t at = 0; at < storm.publish_order.size(); at += group) {
+    dirty.clear();
+    for (size_t j = at; j < std::min(at + group, storm.publish_order.size());
+         ++j)
+      dirty.push_back(b.add(&storm.records[storm.publish_order[j]]));
+    stormy.resync(b, dirty);
+  }
+  ASSERT_GT(stormy.rollbacks(), 0u);
+  engine::TunerPriors seeded = stormy.recommend_priors();
+  EXPECT_GE(seeded.stride, 4u);
+  EXPECT_LE(seeded.stride, 64u);
+  EXPECT_EQ(seeded.stride & (seeded.stride - 1), 0u) << seeded.stride;
+  if (stormy.peak_storm_records() > LeveledChecker::kStripe) {
+    EXPECT_EQ(seeded.stripe, 2u);
+  } else {
+    EXPECT_EQ(seeded.stripe, LeveledChecker::kStripe);
+  }
+  // Recommendations are a pure function of the counters: a second call
+  // returns the same seeds.
+  engine::TunerPriors again = stormy.recommend_priors();
+  EXPECT_EQ(again.stride, seeded.stride);
+  EXPECT_EQ(again.stripe, seeded.stripe);
+}
+
 TEST(AutoTuner, DupHeavyParallelWindowsRaiseEngageMonotonically) {
   engine::AutoTuner t(384, 96, 4, 8);
   engine::TunerWindow w;

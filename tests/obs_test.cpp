@@ -267,7 +267,9 @@ TEST(ObsExport, EngineStatsJsonStableKeys) {
   for (const char* key :
        {"lanes", "events_fed", "rounds_sequential", "rounds_parallel",
         "peak_frontier", "dedup_probes", "dedup_hits", "states_recycled",
-        "engage_width", "retreat_width", "mode_switches", "tuner_updates"}) {
+        "engage_width", "retreat_width", "mode_switches", "tuner_updates",
+        "probe_batches", "prefetch_batches", "filter_in_place_rounds",
+        "priors_applied"}) {
     EXPECT_NE(json.find("\"" + std::string(key) + "\":"), std::string::npos)
         << key;
   }

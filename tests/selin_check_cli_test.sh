@@ -130,7 +130,8 @@ PY
 expect 0 "$bin" queue "${ok_files[0]}" --quiet --stats-json
 json_has "$tmp/out" lanes events_fed rounds_sequential rounds_parallel \
   peak_frontier dedup_probes dedup_hits states_recycled engage_width \
-  retreat_width mode_switches tuner_updates
+  retreat_width mode_switches tuner_updates probe_batches prefetch_batches \
+  filter_in_place_rounds priors_applied
 
 # --metrics -: stdout is a single JSON document that round-trips through a
 # parser (the ISSUE acceptance contract), even when attached to a run that

@@ -45,6 +45,11 @@ import tempfile
 
 RUNS = {
     "bench_lincheck": "bench_lincheck",
+    # Raw-run facet recorded by `tools/run_bench.sh --facet closure_hot`:
+    # single-threaded monitor feeds whose cost is a deterministic function
+    # of the closure hot path (dup-heavy/dup-light x prefetch on/off), so
+    # its rows gate the same way bench_lincheck's do.
+    "closure_hot": "bench_closure_hot",
 }
 
 UNSTABLE_PREFIXES = (

@@ -4,7 +4,7 @@
 # perf trajectory is tracked PR over PR.
 #
 # Usage: tools/run_bench.sh [build-dir] \
-#            [--facet all|parallel_scaling|leveled_replay|multi_session|frontier_memory|obs_overhead] \
+#            [--facet all|parallel_scaling|leveled_replay|multi_session|frontier_memory|obs_overhead|closure_hot] \
 #            [--allow-non-release]
 #
 # Recorded numbers are only comparable between optimized builds, so the
@@ -38,7 +38,9 @@
 # on long ragged histories), and --facet obs_overhead for the observability
 # tax facet (bench_obs_overhead: incremental-monitor throughput detached vs
 # metrics vs metrics+trace; the ISSUE 7 budget is <= 2% with metrics
-# attached).
+# attached), and --facet closure_hot for the closure hot-path facet
+# (bench_closure_hot: dup-heavy/dup-light monitor runs with the dedup-probe
+# prefetch on and off; raw run shape, gated by tools/bench_gate.py).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -69,8 +71,8 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 case "$facet" in
-  all|parallel_scaling|leveled_replay|multi_session|frontier_memory|obs_overhead) ;;
-  *) echo "error: unknown facet '$facet' (all | parallel_scaling | leveled_replay | multi_session | frontier_memory | obs_overhead)" >&2; exit 2 ;;
+  all|parallel_scaling|leveled_replay|multi_session|frontier_memory|obs_overhead|closure_hot) ;;
+  *) echo "error: unknown facet '$facet' (all | parallel_scaling | leveled_replay | multi_session | frontier_memory | obs_overhead | closure_hot)" >&2; exit 2 ;;
 esac
 
 tmp="$(mktemp -d)"
@@ -164,6 +166,15 @@ elif [[ "$facet" == "obs_overhead" ]]; then
       --benchmark_min_time=0.25 --benchmark_repetitions=5 \
       --benchmark_report_aggregates_only=false \
       --benchmark_out="$tmp/obs_overhead.json" --benchmark_out_format=json
+elif [[ "$facet" == "closure_hot" ]]; then
+  if [[ ! -x "$build_dir/bench_closure_hot" ]]; then
+    echo "error: bench_closure_hot not built in $build_dir" >&2
+    exit 1
+  fi
+  "$build_dir/bench_closure_hot" \
+      --benchmark_min_time=0.1 --benchmark_repetitions=3 \
+      --benchmark_report_aggregates_only=false \
+      --benchmark_out="$tmp/closure_hot.json" --benchmark_out_format=json
 else
   if [[ ! -x "$build_dir/bench_detection" ]]; then
     echo "error: benchmarks not built in $build_dir (cmake -B build -S . && cmake --build build -j)" >&2
@@ -191,13 +202,19 @@ else
         --benchmark_report_aggregates_only=false \
         --benchmark_out="$tmp/obs_overhead.json" --benchmark_out_format=json
   fi
+  if [[ -x "$build_dir/bench_closure_hot" ]]; then
+    "$build_dir/bench_closure_hot" \
+        --benchmark_min_time=0.1 --benchmark_repetitions=3 \
+        --benchmark_report_aggregates_only=false \
+        --benchmark_out="$tmp/closure_hot.json" --benchmark_out_format=json
+  fi
 fi
 
-python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$tmp/leveled.json" "$tmp/multi_session.json" "$tmp/frontier_memory.json" "$tmp/obs_overhead.json" "$out" <<'EOF'
+python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$tmp/leveled.json" "$tmp/multi_session.json" "$tmp/frontier_memory.json" "$tmp/obs_overhead.json" "$tmp/closure_hot.json" "$out" <<'EOF'
 import json, os, sys
 
 (mode, lincheck, detection, leveled, multi_session, frontier_memory,
- obs_overhead, out) = sys.argv[1:9]
+ obs_overhead, closure_hot, out) = sys.argv[1:10]
 
 # The build type of the *bench binaries* (what run_bench.sh just built and
 # measured); the benchmark library's own build type is recorded separately
@@ -385,6 +402,23 @@ def obs_overhead_facet(run):
 
 # The single-binary facet modes run one bench alone, so no lincheck.json
 # exists to load — handle them before touching the other runs.
+if mode == "closure_hot":
+    # Stored run-shaped (raw context + benchmarks), like bench_lincheck:
+    # tools/bench_gate.py gates on its real_time rows via stable_rows().
+    facet = load(closure_hot)
+    if not facet.get("benchmarks"):
+        sys.exit("error: no BM_ClosureHot results in this run")
+    try:
+        with open(out) as f:
+            result = json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        sys.exit(f"error: {out} missing or unreadable; run the full suite first")
+    result["closure_hot"] = facet
+    with open(out, "w") as f:
+        json.dump(result, f, indent=1)
+    print(f"updated closure_hot facet of {out}")
+    sys.exit(0)
+
 if mode == "obs_overhead":
     with open(obs_overhead) as f:
         facet = obs_overhead_facet(json.load(f))
@@ -493,6 +527,12 @@ except FileNotFoundError:
     obs_facet = None
 if obs_facet is not None:
     result["obs_overhead"] = obs_facet
+try:
+    closure_facet = load(closure_hot)
+except FileNotFoundError:
+    closure_facet = None
+if closure_facet is not None and closure_facet.get("benchmarks"):
+    result["closure_hot"] = closure_facet
 
 # Preserve facets recorded by earlier PRs/other hosts when this run did not
 # produce them (baseline_string_key is PR 1's string-key engine baseline;
@@ -501,7 +541,8 @@ try:
     with open(out) as f:
         prev = json.load(f)
     for key in ("baseline_string_key", "leveled_replay", "parallel_scaling",
-                "multi_session", "frontier_memory", "obs_overhead"):
+                "multi_session", "frontier_memory", "obs_overhead",
+                "closure_hot"):
         if key in prev and key not in result:
             result[key] = prev[key]
 except (FileNotFoundError, json.JSONDecodeError):
