@@ -1,0 +1,268 @@
+#include "selin/net/ingest_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace selin::net {
+
+namespace {
+
+void set_err(std::string* err, const std::string& msg) {
+  if (err != nullptr) *err = msg;
+}
+
+void set_errno(std::string* err, const char* what) {
+  set_err(err, std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+IngestClient::~IngestClient() { close(); }
+
+IngestClient::IngestClient(IngestClient&& other) noexcept {
+  *this = std::move(other);
+}
+
+IngestClient& IngestClient::operator=(IngestClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    sid_ = other.sid_;
+    next_seq_ = other.next_seq_;
+    throttles_ = other.throttles_;
+    rbuf_ = std::move(other.rbuf_);
+    rhead_ = other.rhead_;
+    consumed_ = other.consumed_;
+    wbuf_ = std::move(other.wbuf_);
+  }
+  return *this;
+}
+
+void IngestClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool IngestClient::connect_uds(const std::string& path, std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    set_err(err, "uds path too long");
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    set_errno(err, "socket");
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    set_errno(err, "connect(uds)");
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool IngestClient::connect_tcp(const std::string& host, int port,
+                               std::string* err) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    set_errno(err, "socket");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    set_err(err, "bad host: " + host);
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    set_errno(err, "connect(tcp)");
+    close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return true;
+}
+
+bool IngestClient::send_all(const uint8_t* data, size_t len,
+                            std::string* err) {
+  size_t at = 0;
+  while (at < len) {
+    const ssize_t n = ::send(fd_, data + at, len - at, MSG_NOSIGNAL);
+    if (n > 0) {
+      at += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    set_errno(err, "send");
+    return false;
+  }
+  return true;
+}
+
+bool IngestClient::read_frame(FrameView& out, std::string* err) {
+  // Release the previously returned frame, compacting opportunistically.
+  rhead_ += consumed_;
+  consumed_ = 0;
+  if (rhead_ == rbuf_.size()) {
+    rbuf_.clear();
+    rhead_ = 0;
+  }
+  for (;;) {
+    if (rhead_ > 0 && rbuf_.size() - rhead_ < kHeaderBytes) {
+      rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<ptrdiff_t>(rhead_));
+      rhead_ = 0;
+    }
+    std::string why;
+    const DecodeStatus st = peek_frame(
+        {rbuf_.data() + rhead_, rbuf_.size() - rhead_}, out, &why);
+    if (st == DecodeStatus::kFrame) {
+      consumed_ = out.frame_len;
+      return true;
+    }
+    if (st == DecodeStatus::kBad) {
+      set_err(err, "protocol: " + why);
+      return false;
+    }
+    uint8_t tmp[64 * 1024];
+    const ssize_t n = ::recv(fd_, tmp, sizeof tmp, 0);
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), tmp, tmp + n);
+      continue;
+    }
+    if (n == 0) {
+      set_err(err, "connection closed by server");
+      return false;
+    }
+    if (errno == EINTR) continue;
+    set_errno(err, "recv");
+    return false;
+  }
+}
+
+bool IngestClient::hello(uint8_t object_kind, std::string_view name,
+                         HelloAckBody* ack, std::string* err) {
+  wbuf_.clear();
+  append_hello(wbuf_, object_kind, name);
+  if (!send_all(wbuf_.data(), wbuf_.size(), err)) return false;
+  FrameView f;
+  if (!read_frame(f, err)) return false;
+  if (f.header.type == FrameType::kError) {
+    set_err(err, "server: " + std::string(reinterpret_cast<const char*>(
+                                              f.body.data()),
+                                          f.body.size()));
+    return false;
+  }
+  HelloAckBody body;
+  if (f.header.type != FrameType::kHelloAck ||
+      !parse_hello_ack(f.body, body)) {
+    set_err(err, "expected hello_ack");
+    return false;
+  }
+  sid_ = body.session;
+  next_seq_ = 0;
+  if (ack != nullptr) *ack = body;
+  return true;
+}
+
+bool IngestClient::send_events(std::span<const Event> events,
+                               std::string* err) {
+  wbuf_.clear();
+  append_events(wbuf_, sid_, next_seq_, events);
+  for (;;) {
+    if (!send_all(wbuf_.data(), wbuf_.size(), err)) return false;
+    FrameView f;
+    if (!read_frame(f, err)) return false;
+    if (f.header.type == FrameType::kAck && f.header.seq == next_seq_) {
+      ++next_seq_;
+      return true;
+    }
+    if (f.header.type == FrameType::kThrottle) {
+      ThrottleBody tb;
+      if (!parse_throttle(f.body, tb) || tb.expected_seq != next_seq_) {
+        set_err(err, "throttle out of protocol");
+        return false;
+      }
+      ++throttles_;
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          std::min<uint32_t>(tb.retry_after_us, 2000)));
+      continue;
+    }
+    if (f.header.type == FrameType::kError) {
+      set_err(err, "server: " + std::string(reinterpret_cast<const char*>(
+                                                f.body.data()),
+                                            f.body.size()));
+      return false;
+    }
+    set_err(err, std::string("unexpected frame: ") +
+                     frame_type_name(f.header.type));
+    return false;
+  }
+}
+
+bool IngestClient::stats(std::string* out_json, std::string* err) {
+  wbuf_.clear();
+  append_frame(wbuf_, FrameHeader{.type = FrameType::kStatsReq,
+                                  .session = sid_});
+  if (!send_all(wbuf_.data(), wbuf_.size(), err)) return false;
+  FrameView f;
+  if (!read_frame(f, err)) return false;
+  if (f.header.type != FrameType::kStats) {
+    set_err(err, "expected stats");
+    return false;
+  }
+  if (out_json != nullptr) {
+    out_json->assign(reinterpret_cast<const char*>(f.body.data()),
+                     f.body.size());
+  }
+  return true;
+}
+
+bool IngestClient::verdict(VerdictBody* out, std::string* err) {
+  wbuf_.clear();
+  append_frame(wbuf_, FrameHeader{.type = FrameType::kVerdictReq,
+                                  .session = sid_});
+  if (!send_all(wbuf_.data(), wbuf_.size(), err)) return false;
+  FrameView f;
+  if (!read_frame(f, err)) return false;
+  VerdictBody body;
+  if (f.header.type != FrameType::kVerdict || !parse_verdict(f.body, body)) {
+    set_err(err, "expected verdict");
+    return false;
+  }
+  if (out != nullptr) *out = body;
+  return true;
+}
+
+bool IngestClient::bye(VerdictBody* out, std::string* err) {
+  wbuf_.clear();
+  append_frame(wbuf_, FrameHeader{.type = FrameType::kBye, .session = sid_});
+  if (!send_all(wbuf_.data(), wbuf_.size(), err)) return false;
+  FrameView f;
+  if (!read_frame(f, err)) return false;
+  VerdictBody body;
+  if (f.header.type != FrameType::kVerdict ||
+      (f.header.flags & kFlagFinal) == 0 || !parse_verdict(f.body, body)) {
+    set_err(err, "expected final verdict");
+    return false;
+  }
+  if (out != nullptr) *out = body;
+  return true;
+}
+
+}  // namespace selin::net

@@ -1,0 +1,74 @@
+// Minimal blocking client of the ingest wire protocol — the counterpart of
+// IngestServer used by the soak driver, the integration tests and the
+// ingest benchmark.  One connection, one session, stop-and-wait delivery:
+// send_events() transmits one kEvents frame and blocks for the kAck,
+// honouring kThrottle backpressure by retrying the same frame (go-back-N
+// with window 1 — nothing is ever lost or reordered, and the client needs
+// no retransmit queue).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "selin/net/wire.hpp"
+
+namespace selin::net {
+
+class IngestClient {
+ public:
+  IngestClient() = default;
+  ~IngestClient();
+  IngestClient(IngestClient&& other) noexcept;
+  IngestClient& operator=(IngestClient&& other) noexcept;
+  IngestClient(const IngestClient&) = delete;
+  IngestClient& operator=(const IngestClient&) = delete;
+
+  bool connect_uds(const std::string& path, std::string* err = nullptr);
+  bool connect_tcp(const std::string& host, int port,
+                   std::string* err = nullptr);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// kHello handshake; fills `ack` (optional) with the server's limits.
+  bool hello(uint8_t object_kind, std::string_view name,
+             HelloAckBody* ack = nullptr, std::string* err = nullptr);
+
+  /// One kEvents frame, stop-and-wait: blocks until the server acks it,
+  /// sleeping out kThrottle rejections (counted in throttles()).  The span
+  /// must respect the advertised inbox capacity or the frame can never be
+  /// accepted.
+  bool send_events(std::span<const Event> events, std::string* err = nullptr);
+
+  /// kStatsReq -> kStats: the session's engine_stats_json document.
+  bool stats(std::string* out_json, std::string* err = nullptr);
+
+  /// kVerdictReq -> kVerdict (blocks until the session's backlog drains).
+  bool verdict(VerdictBody* out, std::string* err = nullptr);
+
+  /// kBye -> final kVerdict (kFlagFinal); the server closes after it.
+  bool bye(VerdictBody* out, std::string* err = nullptr);
+
+  uint32_t session() const { return sid_; }
+  uint32_t next_seq() const { return next_seq_; }
+  uint64_t throttles() const { return throttles_; }
+
+ private:
+  bool send_all(const uint8_t* data, size_t len, std::string* err);
+  /// Blocks for the next well-formed frame; the view borrows the internal
+  /// buffer until the next read_frame/send_events call.
+  bool read_frame(FrameView& out, std::string* err);
+
+  int fd_ = -1;
+  uint32_t sid_ = 0;
+  uint32_t next_seq_ = 0;
+  uint64_t throttles_ = 0;
+  std::vector<uint8_t> rbuf_;
+  size_t rhead_ = 0;
+  size_t consumed_ = 0;  // bytes of the previously returned frame
+  std::vector<uint8_t> wbuf_;
+};
+
+}  // namespace selin::net

@@ -1,0 +1,236 @@
+#include "selin/net/wire.hpp"
+
+namespace selin::net {
+
+namespace {
+
+// Highest Method enum value — the wire validator's range check.  A new
+// method extends the enum at the end, so the sentinel tracks the last one.
+constexpr uint8_t kMaxMethod = static_cast<uint8_t>(Method::kWriteSnap);
+
+}  // namespace
+
+void put_header(uint8_t* dst, const FrameHeader& h) {
+  put_u32(dst, kWireMagic);
+  dst[4] = h.version;
+  dst[5] = static_cast<uint8_t>(h.type);
+  put_u16(dst + 6, h.flags);
+  put_u32(dst + 8, h.session);
+  put_u32(dst + 12, h.seq);
+  put_u32(dst + 16, h.body_len);
+}
+
+void append_frame(std::vector<uint8_t>& out, FrameHeader h,
+                  std::span<const uint8_t> body) {
+  h.body_len = static_cast<uint32_t>(body.size());
+  const size_t at = out.size();
+  out.resize(at + kHeaderBytes + body.size());
+  put_header(out.data() + at, h);
+  if (!body.empty()) {
+    std::memcpy(out.data() + at + kHeaderBytes, body.data(), body.size());
+  }
+}
+
+void append_frame(std::vector<uint8_t>& out, FrameHeader h) {
+  append_frame(out, h, {});
+}
+
+void append_hello(std::vector<uint8_t>& out, uint8_t object_kind,
+                  std::string_view name) {
+  if (name.size() > 0xffff) name = name.substr(0, 0xffff);
+  FrameHeader h{.type = FrameType::kHello};
+  const size_t at = out.size();
+  out.resize(at + kHeaderBytes + 4 + name.size());
+  h.body_len = static_cast<uint32_t>(4 + name.size());
+  put_header(out.data() + at, h);
+  uint8_t* b = out.data() + at + kHeaderBytes;
+  b[0] = object_kind;
+  b[1] = 0;
+  put_u16(b + 2, static_cast<uint16_t>(name.size()));
+  if (!name.empty()) std::memcpy(b + 4, name.data(), name.size());
+}
+
+void append_hello_ack(std::vector<uint8_t>& out, uint32_t session,
+                      uint32_t inbox_capacity, uint32_t max_batch) {
+  uint8_t body[12];
+  put_u32(body, session);
+  put_u32(body + 4, inbox_capacity);
+  put_u32(body + 8, max_batch);
+  append_frame(out, FrameHeader{.type = FrameType::kHelloAck,
+                                .session = session},
+               body);
+}
+
+void append_events(std::vector<uint8_t>& out, uint32_t session, uint32_t seq,
+                   std::span<const Event> events) {
+  FrameHeader h{.type = FrameType::kEvents, .session = session, .seq = seq};
+  h.body_len = static_cast<uint32_t>(events.size() * kEventRecBytes);
+  const size_t at = out.size();
+  out.resize(at + kHeaderBytes + h.body_len);
+  put_header(out.data() + at, h);
+  uint8_t* rec = out.data() + at + kHeaderBytes;
+  for (const Event& e : events) {
+    put_event(rec, e);
+    rec += kEventRecBytes;
+  }
+}
+
+void append_throttle(std::vector<uint8_t>& out, uint32_t session,
+                     uint32_t rejected_seq, uint32_t expected_seq,
+                     uint32_t retry_after_us) {
+  uint8_t body[8];
+  put_u32(body, expected_seq);
+  put_u32(body + 4, retry_after_us);
+  append_frame(out,
+               FrameHeader{.type = FrameType::kThrottle,
+                           .session = session,
+                           .seq = rejected_seq},
+               body);
+}
+
+void append_verdict(std::vector<uint8_t>& out, uint32_t session,
+                    uint16_t flags, WireStatus status, uint64_t events_fed,
+                    uint64_t first_bad) {
+  uint8_t body[20];
+  body[0] = static_cast<uint8_t>(status);
+  body[1] = body[2] = body[3] = 0;
+  put_u64(body + 4, events_fed);
+  put_u64(body + 12, first_bad);
+  append_frame(out,
+               FrameHeader{.type = FrameType::kVerdict,
+                           .flags = flags,
+                           .session = session},
+               body);
+}
+
+void append_text_frame(std::vector<uint8_t>& out, FrameType type,
+                       uint32_t session, std::string_view text) {
+  if (text.size() > kMaxBody) text = text.substr(0, kMaxBody);
+  append_frame(out, FrameHeader{.type = type, .session = session},
+               {reinterpret_cast<const uint8_t*>(text.data()), text.size()});
+}
+
+DecodeStatus peek_frame(std::span<const uint8_t> buf, FrameView& out,
+                        std::string* err) {
+  auto bad = [&](const char* why) {
+    if (err != nullptr) *err = why;
+    return DecodeStatus::kBad;
+  };
+  if (buf.size() < 4) {
+    // Not enough to check the magic; only wait if what we have matches a
+    // magic prefix, otherwise the stream can never resynchronize.
+    const uint8_t magic_bytes[4] = {0x73, 0x65, 0x6c, 0x77};
+    for (size_t i = 0; i < buf.size(); ++i) {
+      if (buf[i] != magic_bytes[i]) return bad("bad magic");
+    }
+    return DecodeStatus::kNeedMore;
+  }
+  if (get_u32(buf.data()) != kWireMagic) return bad("bad magic");
+  if (buf.size() < kHeaderBytes) return DecodeStatus::kNeedMore;
+  FrameHeader h;
+  h.version = buf[4];
+  h.type = static_cast<FrameType>(buf[5]);
+  h.flags = get_u16(buf.data() + 6);
+  h.session = get_u32(buf.data() + 8);
+  h.seq = get_u32(buf.data() + 12);
+  h.body_len = get_u32(buf.data() + 16);
+  if (h.version != kWireVersion) return bad("unsupported wire version");
+  if (buf[5] == 0 || buf[5] > kMaxFrameType) return bad("unknown frame type");
+  if ((h.flags & ~kFlagFinal) != 0) return bad("reserved flags set");
+  if (h.body_len > kMaxBody) return bad("oversized frame body");
+  const size_t total = kHeaderBytes + h.body_len;
+  if (buf.size() < total) return DecodeStatus::kNeedMore;
+  out.header = h;
+  out.body = buf.subspan(kHeaderBytes, h.body_len);
+  out.frame_len = total;
+  return DecodeStatus::kFrame;
+}
+
+void put_event(uint8_t* dst, const Event& e) {
+  dst[0] = static_cast<uint8_t>(e.kind);
+  dst[1] = static_cast<uint8_t>(e.op.method);
+  put_u16(dst + 2, 0);
+  put_u32(dst + 4, e.op.id.pid);
+  put_u32(dst + 8, e.op.id.seq);
+  put_u64(dst + 12, static_cast<uint64_t>(e.op.arg));
+  put_u64(dst + 20, static_cast<uint64_t>(e.result));
+}
+
+bool get_event(const uint8_t* src, Event& out) {
+  if (src[0] > 1) return false;
+  if (src[1] > kMaxMethod) return false;
+  if (get_u16(src + 2) != 0) return false;
+  out.kind = static_cast<EventKind>(src[0]);
+  out.op.method = static_cast<Method>(src[1]);
+  out.op.id.pid = get_u32(src + 4);
+  out.op.id.seq = get_u32(src + 8);
+  out.op.arg = static_cast<Value>(get_u64(src + 12));
+  out.result = static_cast<Value>(get_u64(src + 20));
+  return true;
+}
+
+bool decode_events(std::span<const uint8_t> body, std::vector<Event>& out) {
+  out.clear();
+  if (body.size() % kEventRecBytes != 0) return false;
+  const size_t n = body.size() / kEventRecBytes;
+  out.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!get_event(body.data() + i * kEventRecBytes, out[i])) {
+      out.clear();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_hello(std::span<const uint8_t> body, HelloBody& out) {
+  if (body.size() < 4) return false;
+  const uint16_t name_len = get_u16(body.data() + 2);
+  if (body.size() != 4u + name_len) return false;
+  out.object_kind = body[0];
+  out.name = std::string_view(reinterpret_cast<const char*>(body.data() + 4),
+                              name_len);
+  return true;
+}
+
+bool parse_hello_ack(std::span<const uint8_t> body, HelloAckBody& out) {
+  if (body.size() != 12) return false;
+  out.session = get_u32(body.data());
+  out.inbox_capacity = get_u32(body.data() + 4);
+  out.max_batch = get_u32(body.data() + 8);
+  return true;
+}
+
+bool parse_throttle(std::span<const uint8_t> body, ThrottleBody& out) {
+  if (body.size() != 8) return false;
+  out.expected_seq = get_u32(body.data());
+  out.retry_after_us = get_u32(body.data() + 4);
+  return true;
+}
+
+bool parse_verdict(std::span<const uint8_t> body, VerdictBody& out) {
+  if (body.size() != 20 || body[0] > 2) return false;
+  out.status = static_cast<WireStatus>(body[0]);
+  out.events_fed = get_u64(body.data() + 4);
+  out.first_bad = get_u64(body.data() + 12);
+  return true;
+}
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloAck: return "hello_ack";
+    case FrameType::kEvents: return "events";
+    case FrameType::kAck: return "ack";
+    case FrameType::kThrottle: return "throttle";
+    case FrameType::kStatsReq: return "stats_req";
+    case FrameType::kStats: return "stats";
+    case FrameType::kVerdictReq: return "verdict_req";
+    case FrameType::kVerdict: return "verdict";
+    case FrameType::kBye: return "bye";
+    case FrameType::kError: return "error";
+  }
+  return "?";
+}
+
+}  // namespace selin::net

@@ -1,0 +1,258 @@
+// Binary wire protocol of the live event-ingest path.
+//
+// `MonitorService` multiplexes many (spec, history) streams, but until this
+// layer the only way in was `selin_check`'s file mode through the *text*
+// parser — fine for offline audits, hopeless for a long-lived monitor fed by
+// thousands of producers.  The wire format here keeps the text parser off
+// the hot path entirely: events travel as fixed-layout packed records inside
+// length-prefixed frames, so a session's feed is one header decode plus one
+// `memcpy`-shaped record scan per batch, with zero heap allocation per frame
+// on both sides (encoders append into a caller-owned reusable buffer;
+// decoders hand out views into the connection's read buffer).
+//
+// Layout discipline (the ceph message-header idiom): every multi-byte field
+// sits at a fixed offset and is read/written little-endian via memcpy —
+// never by casting the buffer to a struct — so the format is identical
+// across hosts and free of alignment/strict-aliasing UB, which is what lets
+// the fuzz tests (tests/wire_fuzz_test.cpp) shred arbitrary corrupt input
+// under ASan/UBSan.
+//
+// Frame = 20-byte header + body:
+//
+//   offset  size  field
+//        0     4  magic     0x77'6c'65'73 ("selw" on the wire)
+//        4     1  version   kWireVersion
+//        5     1  type      FrameType
+//        6     2  flags     bit 0 = kFlagFinal (on a kVerdict answering kBye)
+//        8     4  session   daemon-assigned id (0 before kHelloAck)
+//       12     4  seq       per-connection frame sequence number
+//       16     4  body_len  payload bytes, <= kMaxBody
+//
+// Conversation (client C, server S):
+//
+//   C -> S  kHello      {object_kind u8, reserved u8, name_len u16, name}
+//   S -> C  kHelloAck   {session u32, inbox_capacity u32, max_batch u32}
+//                       (or kError: bad version / unknown object / at the
+//                       session cap — connection closes after)
+//   C -> S  kEvents     packed EventRec x n; header.seq numbers EVENTS
+//                       frames consecutively from 0
+//   S -> C  kAck        header.seq = accepted frame's seq, empty body
+//        |  kThrottle   {expected_seq u32, retry_after_us u32} — the frame
+//                       was NOT ingested (session inbox full, or seq gap
+//                       after an earlier rejection).  Go-back-N: the client
+//                       rewinds to expected_seq and re-sends; a duplicate of
+//                       an already-accepted seq is re-acked, not re-fed.
+//   C -> S  kStatsReq   empty; S -> C kStats {engine_stats_json text}
+//   C -> S  kVerdictReq empty; S -> C kVerdict once the session's backlog
+//                       has fully drained {status u8, pad[3], events_fed
+//                       u64, first_bad u64}
+//   C -> S  kBye        empty; S drains, replies kVerdict with kFlagFinal,
+//                       closes the connection and evicts the session
+//   S -> C  kError      {utf-8 text} on any protocol violation; the
+//                       connection closes after the frame flushes
+//
+// Backpressure is explicit and lossless: a full per-session inbox rejects
+// the whole frame with kThrottle instead of dropping events or blocking the
+// reactor; because the client holds unacked frames for retransmit, no event
+// is ever lost or reordered (tests/ingest_test.cpp pins this).
+//
+// EventRec — one history::Event, fixed 28 bytes:
+//
+//   offset  size  field
+//        0     1  kind      0 = invocation, 1 = response
+//        1     1  method    Method enum value
+//        2     2  reserved  must be 0
+//        4     4  pid
+//        8     4  seq       per-process op sequence number
+//       12     8  arg       int64
+//       20     8  result    int64 (kNoArg on invocations)
+//
+// Reserved bytes must be zero and enums must be in range, so decode is a
+// validator: any record that decodes re-encodes to the identical bytes
+// (canonical form — the fuzz round-trip invariant).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "selin/history/event.hpp"
+
+namespace selin::net {
+
+constexpr uint32_t kWireMagic = 0x776c6573u;  // "selw" little-endian
+constexpr uint8_t kWireVersion = 1;
+constexpr size_t kHeaderBytes = 20;
+constexpr size_t kEventRecBytes = 28;
+/// Frame body ceiling: large enough for ~37k events per frame, small enough
+/// that a hostile body_len cannot balloon a connection buffer.
+constexpr uint32_t kMaxBody = 1u << 20;
+constexpr uint16_t kFlagFinal = 1u << 0;
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kEvents = 3,
+  kAck = 4,
+  kThrottle = 5,
+  kStatsReq = 6,
+  kStats = 7,
+  kVerdictReq = 8,
+  kVerdict = 9,
+  kBye = 10,
+  kError = 11,
+};
+constexpr uint8_t kMaxFrameType = static_cast<uint8_t>(FrameType::kError);
+
+/// Session verdict statuses carried by kVerdict (mirrors
+/// service::Session::Status).
+enum class WireStatus : uint8_t { kOk = 0, kRejected = 1, kOverflowed = 2 };
+
+struct FrameHeader {
+  uint8_t version = kWireVersion;
+  FrameType type = FrameType::kHello;
+  uint16_t flags = 0;
+  uint32_t session = 0;
+  uint32_t seq = 0;
+  uint32_t body_len = 0;
+};
+
+/// A decoded frame: header plus a view into the caller's buffer.  The view
+/// is valid only until the buffer is mutated (consume before reading more).
+struct FrameView {
+  FrameHeader header;
+  std::span<const uint8_t> body;
+  /// Total bytes this frame occupies (header + body) — what the caller
+  /// consumes from its read buffer.
+  size_t frame_len = 0;
+};
+
+enum class DecodeStatus : uint8_t {
+  kNeedMore,  ///< buffer holds a frame prefix; read more bytes
+  kFrame,     ///< one well-formed frame decoded into the FrameView
+  kBad,       ///< unrecoverable garbage (bad magic/version/type/length)
+};
+
+// ---- little-endian primitives (fixed offsets, memcpy, no aliasing) --------
+
+inline void put_u16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, 2); }
+inline void put_u32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+inline void put_u64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+inline uint16_t get_u16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+inline uint32_t get_u32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline uint64_t get_u64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+static_assert(static_cast<uint8_t>(EventKind::kInvocation) == 0 &&
+                  static_cast<uint8_t>(EventKind::kResponse) == 1,
+              "wire kind byte mirrors EventKind");
+
+// ---- frame encode ---------------------------------------------------------
+
+/// Writes the 20-byte header at `dst` (caller guarantees capacity).
+void put_header(uint8_t* dst, const FrameHeader& h);
+
+/// Appends header + body to `out` (a reusable buffer — amortized zero
+/// allocation).  `body_len` of `h` is overwritten with body.size().
+void append_frame(std::vector<uint8_t>& out, FrameHeader h,
+                  std::span<const uint8_t> body);
+
+/// Appends a bodyless frame (kAck, kStatsReq, kVerdictReq, kBye).
+void append_frame(std::vector<uint8_t>& out, FrameHeader h);
+
+/// kHello: `object_kind` is the sim::ObjectKind enum value, `name` labels
+/// the session (truncated to 65535 bytes).
+void append_hello(std::vector<uint8_t>& out, uint8_t object_kind,
+                  std::string_view name);
+
+/// kHelloAck carrying the assigned session id and the server's limits.
+void append_hello_ack(std::vector<uint8_t>& out, uint32_t session,
+                      uint32_t inbox_capacity, uint32_t max_batch);
+
+/// kEvents frame: packs `events` as EventRecs.  The caller respects the
+/// advertised inbox capacity (a frame larger than the capacity can never be
+/// accepted).
+void append_events(std::vector<uint8_t>& out, uint32_t session, uint32_t seq,
+                   std::span<const Event> events);
+
+/// kThrottle: the frame carrying `rejected_seq` was not ingested; re-send
+/// from `expected_seq` after roughly `retry_after_us`.
+void append_throttle(std::vector<uint8_t>& out, uint32_t session,
+                     uint32_t rejected_seq, uint32_t expected_seq,
+                     uint32_t retry_after_us);
+
+/// kVerdict (final when answering kBye — set kFlagFinal in flags).
+void append_verdict(std::vector<uint8_t>& out, uint32_t session,
+                    uint16_t flags, WireStatus status, uint64_t events_fed,
+                    uint64_t first_bad);
+
+/// kError / kStats: text payload.
+void append_text_frame(std::vector<uint8_t>& out, FrameType type,
+                       uint32_t session, std::string_view text);
+
+// ---- frame decode ---------------------------------------------------------
+
+/// Examines the front of `buf` for one frame.  kFrame fills `out` (body is
+/// a view into `buf`); kNeedMore means the prefix is consistent but short;
+/// kBad (with `err` set when non-null) means the stream is garbage and the
+/// connection should die.
+DecodeStatus peek_frame(std::span<const uint8_t> buf, FrameView& out,
+                        std::string* err = nullptr);
+
+/// Packs one event at `dst` (kEventRecBytes of capacity).
+void put_event(uint8_t* dst, const Event& e);
+
+/// Unpacks and validates one event record.  False on out-of-range enums or
+/// nonzero reserved bytes (the record is not canonical).
+bool get_event(const uint8_t* src, Event& out);
+
+/// Decodes a kEvents body in place, appending to `out` (cleared first).
+/// False when the body length is not a whole number of records or any
+/// record fails validation.
+bool decode_events(std::span<const uint8_t> body, std::vector<Event>& out);
+
+// ---- typed body views -----------------------------------------------------
+
+struct HelloBody {
+  uint8_t object_kind = 0;
+  std::string_view name;
+};
+/// False when the body is malformed (short, or name_len inconsistent).
+bool parse_hello(std::span<const uint8_t> body, HelloBody& out);
+
+struct HelloAckBody {
+  uint32_t session = 0;
+  uint32_t inbox_capacity = 0;
+  uint32_t max_batch = 0;
+};
+bool parse_hello_ack(std::span<const uint8_t> body, HelloAckBody& out);
+
+struct ThrottleBody {
+  uint32_t expected_seq = 0;
+  uint32_t retry_after_us = 0;
+};
+bool parse_throttle(std::span<const uint8_t> body, ThrottleBody& out);
+
+struct VerdictBody {
+  WireStatus status = WireStatus::kOk;
+  uint64_t events_fed = 0;
+  uint64_t first_bad = 0;
+};
+bool parse_verdict(std::span<const uint8_t> body, VerdictBody& out);
+
+const char* frame_type_name(FrameType t);
+
+}  // namespace selin::net

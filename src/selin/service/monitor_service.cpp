@@ -12,6 +12,7 @@ Session::Session(std::string name, std::unique_ptr<SeqSpec> spec,
                  bool observe, obs::TraceSink* trace)
     : name_(std::move(name)), spec_(std::move(spec)),
       monitor_(*spec_, opts.max_configs, opts.threads, std::move(exec)),
+      inbox_cap_(opts.inbox_capacity == 0 ? 1 : opts.inbox_capacity),
       id_(id) {
   if (observe) {
     reg_ = std::make_unique<obs::MetricsRegistry>();
@@ -33,6 +34,34 @@ Session::Status Session::status() const {
   return Status::kOk;
 }
 
+bool Session::try_publish(std::span<const Event> events) {
+  // A settled verdict is sticky: accept and discard, exactly like feed().
+  if (settled_.load(std::memory_order_acquire)) return true;
+  std::lock_guard<std::mutex> lock(inbox_mu_);
+  if (inbox_.size() + events.size() > inbox_cap_) return false;
+  inbox_.insert(inbox_.end(), events.begin(), events.end());
+  inbox_len_.store(inbox_.size(), std::memory_order_relaxed);
+  return true;
+}
+
+void Session::absorb_inbox(size_t max_buffered) {
+  if (inbox_len_.load(std::memory_order_relaxed) == 0) return;
+  if (settled_.load(std::memory_order_relaxed)) {
+    // Input cannot change a sticky verdict; free the inbox.
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inbox_.clear();
+    inbox_len_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  // Memory bound: while the buffer is still deep, leave the inbox alone —
+  // it fills to inbox_cap_ and publishes start bouncing (backpressure).
+  if (pending() >= max_buffered) return;
+  std::lock_guard<std::mutex> lock(inbox_mu_);
+  buffer_.insert(buffer_.end(), inbox_.begin(), inbox_.end());
+  inbox_.clear();
+  inbox_len_.store(0, std::memory_order_relaxed);
+}
+
 void Session::run_one_batch(size_t limit) {
   const size_t n = std::min(limit, buffer_.size() - head_);
   if (n == 0) return;
@@ -48,8 +77,8 @@ void Session::run_one_batch(size_t limit) {
   head_ += n;
   fed_ += n;
   if (!monitor_.ok() || monitor_.overflowed()) {
-    if (!settled_) {
-      settled_ = true;
+    if (!settled_.load(std::memory_order_relaxed)) {
+      settled_.store(true, std::memory_order_release);
       // The verdict flipped somewhere inside this batch.  Events past the
       // flip (or past an overflow) were never processed — report the
       // engine's accepted count, not the batch's arrival count.
@@ -107,22 +136,48 @@ MonitorService::~MonitorService() {
 SessionId MonitorService::open(std::string name,
                                std::unique_ptr<SeqSpec> spec,
                                const SessionOptions& opts) {
-  sessions_.push_back(std::unique_ptr<Session>(
+  auto session = std::unique_ptr<Session>(
       new Session(std::move(name), std::move(spec), opts, exec_,
-                  sessions_.size(), reg_ != nullptr, trace_)));
+                  sessions_.size(), reg_ != nullptr, trace_));
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.push_back(std::move(session));
   return sessions_.size() - 1;
 }
 
+void MonitorService::close(SessionId id) {
+  if (id >= sessions_.size()) return;
+  // The slot is nulled under the lock so a racing find() either gets the
+  // live session (the caller guarantees its producers are gone) or null;
+  // the Session itself is destroyed after the lock drops.
+  std::unique_ptr<Session> dead;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    dead = std::move(sessions_[id]);
+  }
+}
+
+Session* MonitorService::find(SessionId id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (id >= sessions_.size()) return nullptr;
+  return sessions_[id].get();
+}
+
+size_t MonitorService::live_session_count() const {
+  size_t n = 0;
+  for (const auto& s : sessions_) n += s != nullptr;
+  return n;
+}
+
 void MonitorService::feed(SessionId id, const Event& e) {
-  Session& s = *sessions_[id];
-  if (s.settled_) return;  // sticky verdict; don't buffer dead weight
-  s.buffer_.push_back(e);
+  Session* s = sessions_[id].get();
+  if (s == nullptr || s->settled_.load(std::memory_order_relaxed)) return;
+  s->buffer_.push_back(e);
 }
 
 void MonitorService::feed(SessionId id, std::span<const Event> events) {
-  Session& s = *sessions_[id];
-  if (s.settled_) return;
-  s.buffer_.insert(s.buffer_.end(), events.begin(), events.end());
+  Session* s = sessions_[id].get();
+  if (s == nullptr || s->settled_.load(std::memory_order_relaxed)) return;
+  s->buffer_.insert(s->buffer_.end(), events.begin(), events.end());
 }
 
 size_t MonitorService::drain_round() {
@@ -130,7 +185,10 @@ size_t MonitorService::drain_round() {
   ready.reserve(sessions_.size());
   const size_t n = sessions_.size();
   for (size_t k = 0; k < n; ++k) {
-    Session& s = *sessions_[(rr_ + k) % n];
+    Session* sp = sessions_[(rr_ + k) % n].get();
+    if (sp == nullptr) continue;  // closed slot
+    Session& s = *sp;
+    s.absorb_inbox(batch_limit_);  // MPSC publishes join the buffered path
     if (s.pending() > 0) ready.push_back(&s);
   }
   if (ready.empty()) return 0;
@@ -179,7 +237,9 @@ void MonitorService::drain() {
 
 size_t MonitorService::pending() const {
   size_t total = 0;
-  for (const auto& s : sessions_) total += s->pending();
+  for (const auto& s : sessions_) {
+    if (s != nullptr) total += s->pending();
+  }
   return total;
 }
 
@@ -187,6 +247,7 @@ obs::MetricsSnapshot MonitorService::metrics_snapshot() {
   if (reg_ == nullptr) return {};
   obs::MetricsSnapshot out = reg_->snapshot();
   for (const auto& s : sessions_) {
+    if (s == nullptr) continue;
     obs::MetricsSnapshot ss = s->metrics_snapshot();
     for (auto& v : ss.values) out.values.push_back(std::move(v));
   }

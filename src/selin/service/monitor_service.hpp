@@ -31,10 +31,19 @@
 //
 // Threading contract: open/feed/drain/close are controller-thread calls
 // (one caller, like every selin facade); the parallelism lives inside
-// drain_round.  Per-session queries are safe between drains.
+// drain_round.  Per-session queries are safe between drains.  The one
+// cross-thread entry point is the MPSC feed: any number of producer threads
+// may publish event batches into a session's bounded *inbox* via
+// Session::try_publish (looked up through MonitorService::find), and the
+// controller's drain rounds absorb inboxes into the ordinary buffered path.
+// A full inbox rejects the batch — explicit backpressure the caller can
+// surface (the ingest daemon answers with a THROTTLE frame) instead of
+// unbounded buffering, silent drops, or blocking the producer.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -81,6 +90,11 @@ struct SessionOptions {
   /// first; > 1 / engine::auto_threads(n) shard wide frontiers over the
   /// same shared executor).
   size_t threads = 1;
+  /// Event capacity of the MPSC inbox (Session::try_publish).  The bound is
+  /// the backpressure point of the live-ingest path: a publish that would
+  /// exceed it is rejected whole.  Per-session memory stays bounded by
+  /// roughly inbox_capacity + the service batch_limit in flight.
+  size_t inbox_capacity = 1 << 14;
 };
 
 /// One monitored stream.  Owned by the service; query between drains.
@@ -118,6 +132,27 @@ class Session {
   /// into engine_* gauges; empty when unobserved.
   obs::MetricsSnapshot metrics_snapshot();
 
+  /// MPSC producer feed: atomically appends `events` to the session's
+  /// bounded inbox.  Safe from any thread, concurrently with other
+  /// producers and with the controller's drains.  Returns false when the
+  /// batch would overflow inbox_capacity — the caller owns retry (nothing
+  /// is partially published).  Events publish in call order per producer;
+  /// cross-producer interleaving is the arrival order the monitor observes.
+  /// A settled session accepts and discards (sticky verdicts ignore input).
+  /// The pointer must not be used after MonitorService::close().
+  bool try_publish(std::span<const Event> events);
+
+  /// Events currently in the inbox (approximate under concurrent
+  /// publishes; exact between drains).  Any thread.
+  size_t inbox_len() const {
+    return inbox_len_.load(std::memory_order_relaxed);
+  }
+
+  /// Undrained events: buffered + inbox.  Controller thread, between
+  /// drains — the "has this session fully caught up" query the ingest
+  /// daemon's verdict frames wait on.
+  size_t backlog() const { return pending() + inbox_len(); }
+
  private:
   friend class MonitorService;
 
@@ -131,6 +166,12 @@ class Session {
   /// sticky overflowed status.
   void run_one_batch(size_t limit);
 
+  /// Controller-side half of the MPSC feed: moves the inbox into the
+  /// buffered path.  Skipped while the buffer still holds >= max_buffered
+  /// events, so per-session memory stays bounded (the inbox then fills and
+  /// try_publish starts rejecting — backpressure, not growth).
+  void absorb_inbox(size_t max_buffered);
+
   std::string name_;
   std::unique_ptr<SeqSpec> spec_;
   LinMonitor monitor_;
@@ -138,7 +179,16 @@ class Session {
   size_t head_ = 0;
   size_t fed_ = 0;
   size_t first_bad_ = 0;
-  bool settled_ = false;  // rejected or overflowed: drop further input
+  // Rejected or overflowed: drop further input.  Atomic so producer-thread
+  // publishes can read it while an executor lane settles the verdict.
+  std::atomic<bool> settled_{false};
+
+  // MPSC inbox (see try_publish).  inbox_len_ mirrors inbox_.size() so
+  // queries never take the mutex.
+  std::mutex inbox_mu_;
+  std::vector<Event> inbox_;
+  size_t inbox_cap_;
+  std::atomic<size_t> inbox_len_{0};
 
   // Observability plane (null/unused when the service is unobserved).  The
   // registry and bundle live with the session, so monitor_'s borrowed
@@ -155,13 +205,27 @@ class MonitorService {
   ~MonitorService();
 
   /// Opens an independent stream checked against `spec`.  The returned id
-  /// is stable for the service's lifetime (sessions are never reused).
+  /// is stable for the service's lifetime (ids are never reused).
   SessionId open(std::string name, std::unique_ptr<SeqSpec> spec,
                  const SessionOptions& opts = {});
 
+  /// Destroys a session, releasing its monitor, dedup arenas and buffers —
+  /// the eviction path of long-lived deployments (idle clients, completed
+  /// streams).  The id stays burned; session(id) is invalid afterwards and
+  /// producers must not hold its Session* across this call.  Controller
+  /// thread.
+  void close(SessionId id);
+
   Session& session(SessionId id) { return *sessions_[id]; }
   const Session& session(SessionId id) const { return *sessions_[id]; }
+  /// The session, or nullptr if `id` is out of range or closed.  Safe from
+  /// producer threads concurrently with open()/close() on the controller —
+  /// the lookup the MPSC publish path uses.
+  Session* find(SessionId id);
+  /// Session slots ever opened (closed ones included; their slot is null).
   size_t session_count() const { return sessions_.size(); }
+  /// Sessions currently open (controller thread).
+  size_t live_session_count() const;
 
   /// Buffer events for a session (fed in arrival order at the next drain).
   void feed(SessionId id, const Event& e);
@@ -198,6 +262,11 @@ class MonitorService {
  private:
   std::shared_ptr<parallel::Executor> exec_;
   size_t batch_limit_;
+  // Guards the sessions_ vector itself (growth in open, nulling in close)
+  // against concurrent find() from producer threads.  Session contents are
+  // not covered — they have their own discipline (inbox mutex + the
+  // controller-thread contract).
+  mutable std::mutex sessions_mu_;
   std::vector<std::unique_ptr<Session>> sessions_;
   size_t rr_ = 0;  // round-robin start offset (fairness rotation)
 

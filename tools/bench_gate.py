@@ -71,6 +71,13 @@ UNSTABLE_PREFIXES = (
     # binary, which the gate never runs; listed so adding it to RUNS by
     # accident cannot silently gate on it.
     "BM_ObsOverhead",
+    # The ingest facet (bench_ingest: wire decode vs text parse vs MPSC
+    # publish+drain, recorded by tools/run_bench.sh --facet ingest) tracks
+    # the ratio between its arms; the absolute times ride the host's
+    # allocator and cache sizes.  Lives in its own binary, which the gate
+    # never runs; listed so adding it to RUNS by accident cannot silently
+    # gate on it.
+    "BM_Ingest",
 )
 
 

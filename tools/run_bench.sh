@@ -4,7 +4,7 @@
 # perf trajectory is tracked PR over PR.
 #
 # Usage: tools/run_bench.sh [build-dir] \
-#            [--facet all|parallel_scaling|leveled_replay|multi_session|frontier_memory|obs_overhead|closure_hot] \
+#            [--facet all|parallel_scaling|leveled_replay|multi_session|frontier_memory|obs_overhead|closure_hot|ingest] \
 #            [--allow-non-release]
 #
 # Recorded numbers are only comparable between optimized builds, so the
@@ -40,7 +40,10 @@
 # metrics vs metrics+trace; the ISSUE 7 budget is <= 2% with metrics
 # attached), and --facet closure_hot for the closure hot-path facet
 # (bench_closure_hot: dup-heavy/dup-light monitor runs with the dedup-probe
-# prefetch on and off; raw run shape, gated by tools/bench_gate.py).
+# prefetch on and off; raw run shape, gated by tools/bench_gate.py), and
+# --facet ingest for the live-ingest facet (bench_ingest: binary wire decode
+# vs text parse vs MPSC publish+drain; raw run shape, excluded from the
+# gate — see BM_Ingest in tools/bench_gate.py).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -71,8 +74,8 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 case "$facet" in
-  all|parallel_scaling|leveled_replay|multi_session|frontier_memory|obs_overhead|closure_hot) ;;
-  *) echo "error: unknown facet '$facet' (all | parallel_scaling | leveled_replay | multi_session | frontier_memory | obs_overhead | closure_hot)" >&2; exit 2 ;;
+  all|parallel_scaling|leveled_replay|multi_session|frontier_memory|obs_overhead|closure_hot|ingest) ;;
+  *) echo "error: unknown facet '$facet' (all | parallel_scaling | leveled_replay | multi_session | frontier_memory | obs_overhead | closure_hot | ingest)" >&2; exit 2 ;;
 esac
 
 tmp="$(mktemp -d)"
@@ -175,6 +178,15 @@ elif [[ "$facet" == "closure_hot" ]]; then
       --benchmark_min_time=0.1 --benchmark_repetitions=3 \
       --benchmark_report_aggregates_only=false \
       --benchmark_out="$tmp/closure_hot.json" --benchmark_out_format=json
+elif [[ "$facet" == "ingest" ]]; then
+  if [[ ! -x "$build_dir/bench_ingest" ]]; then
+    echo "error: bench_ingest not built in $build_dir" >&2
+    exit 1
+  fi
+  "$build_dir/bench_ingest" \
+      --benchmark_min_time=0.1 --benchmark_repetitions=3 \
+      --benchmark_report_aggregates_only=false \
+      --benchmark_out="$tmp/ingest.json" --benchmark_out_format=json
 else
   if [[ ! -x "$build_dir/bench_detection" ]]; then
     echo "error: benchmarks not built in $build_dir (cmake -B build -S . && cmake --build build -j)" >&2
@@ -208,13 +220,19 @@ else
         --benchmark_report_aggregates_only=false \
         --benchmark_out="$tmp/closure_hot.json" --benchmark_out_format=json
   fi
+  if [[ -x "$build_dir/bench_ingest" ]]; then
+    "$build_dir/bench_ingest" \
+        --benchmark_min_time=0.1 --benchmark_repetitions=3 \
+        --benchmark_report_aggregates_only=false \
+        --benchmark_out="$tmp/ingest.json" --benchmark_out_format=json
+  fi
 fi
 
-python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$tmp/leveled.json" "$tmp/multi_session.json" "$tmp/frontier_memory.json" "$tmp/obs_overhead.json" "$tmp/closure_hot.json" "$out" <<'EOF'
+python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$tmp/leveled.json" "$tmp/multi_session.json" "$tmp/frontier_memory.json" "$tmp/obs_overhead.json" "$tmp/closure_hot.json" "$tmp/ingest.json" "$out" <<'EOF'
 import json, os, sys
 
 (mode, lincheck, detection, leveled, multi_session, frontier_memory,
- obs_overhead, closure_hot, out) = sys.argv[1:10]
+ obs_overhead, closure_hot, ingest, out) = sys.argv[1:11]
 
 # The build type of the *bench binaries* (what run_bench.sh just built and
 # measured); the benchmark library's own build type is recorded separately
@@ -419,6 +437,24 @@ if mode == "closure_hot":
     print(f"updated closure_hot facet of {out}")
     sys.exit(0)
 
+if mode == "ingest":
+    # Run-shaped like closure_hot; excluded from the wall-time gate
+    # (BM_Ingest in tools/bench_gate.py UNSTABLE_PREFIXES) — the facet
+    # tracks the wire-vs-text ratio, not absolute times.
+    facet = load(ingest)
+    if not facet.get("benchmarks"):
+        sys.exit("error: no BM_Ingest results in this run")
+    try:
+        with open(out) as f:
+            result = json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        sys.exit(f"error: {out} missing or unreadable; run the full suite first")
+    result["ingest"] = facet
+    with open(out, "w") as f:
+        json.dump(result, f, indent=1)
+    print(f"updated ingest facet of {out}")
+    sys.exit(0)
+
 if mode == "obs_overhead":
     with open(obs_overhead) as f:
         facet = obs_overhead_facet(json.load(f))
@@ -533,6 +569,12 @@ except FileNotFoundError:
     closure_facet = None
 if closure_facet is not None and closure_facet.get("benchmarks"):
     result["closure_hot"] = closure_facet
+try:
+    ingest_facet = load(ingest)
+except FileNotFoundError:
+    ingest_facet = None
+if ingest_facet is not None and ingest_facet.get("benchmarks"):
+    result["ingest"] = ingest_facet
 
 # Preserve facets recorded by earlier PRs/other hosts when this run did not
 # produce them (baseline_string_key is PR 1's string-key engine baseline;
@@ -542,7 +584,7 @@ try:
         prev = json.load(f)
     for key in ("baseline_string_key", "leveled_replay", "parallel_scaling",
                 "multi_session", "frontier_memory", "obs_overhead",
-                "closure_hot"):
+                "closure_hot", "ingest"):
         if key in prev and key not in result:
             result[key] = prev[key]
 except (FileNotFoundError, json.JSONDecodeError):
