@@ -100,4 +100,35 @@ void BM_VerifierPassVsBacklog(benchmark::State& state) {
 
 BENCHMARK(BM_VerifierPassVsBacklog)->Arg(10)->Arg(100)->Arg(1000);
 
+// Batch amortization on the ported engine path: total cost of producing
+// AND verifying a fixed op stream when the verifier passes every k applies
+// (k=1 is the coupled-equivalent cadence; larger k approaches one level
+// fed per op — the shape the `enforced` facet records as its decoupled
+// arm).
+void BM_VerifierBatchAmortization(benchmark::State& state) {
+  StepCounter::set_enabled(false);
+  const int64_t k = state.range(0);
+  constexpr int64_t kOps = 2048;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto impl = make_ms_queue();
+    auto obj = make_linearizable_object(make_queue_spec());
+    Decoupled::Options opts;
+    opts.checker_threads = engine::kAutoTunedThreads;
+    Decoupled d(8, 1, *impl, *obj, Decoupled::ErrorReport{}, opts);
+    Rng rng(13);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < kOps; ++i) {
+      auto [m, arg] = random_op(ObjectKind::kQueue, rng);
+      benchmark::DoNotOptimize(d.apply(static_cast<ProcId>(i % 8), m, arg));
+      if ((i + 1) % k == 0) benchmark::DoNotOptimize(d.verify_once(0));
+    }
+    if (kOps % k != 0) d.verify_once(0);
+  }
+  state.SetItemsProcessed(state.iterations() * kOps);
+  state.SetLabel("verify_every=" + std::to_string(k));
+}
+
+BENCHMARK(BM_VerifierBatchAmortization)->Arg(1)->Arg(64)->Arg(512);
+
 }  // namespace

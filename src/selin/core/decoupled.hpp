@@ -9,6 +9,15 @@
 // incorrect — the paper's trade-off: lower producer latency for detection
 // lag.  Eventually the verifiers detect any non-GenLin behavior, assuming
 // not all of them crash.  bench_decoupled measures both sides (B4).
+//
+// This split is where the modern engine pays off most: a verifier pass
+// merges *every* record published since its last pass and feeds them as one
+// dirty batch, so the fingerprinted feed_batch path runs one closure per
+// response run instead of one full membership pass per operation — the
+// deployment shape where many producers share few checking contexts (and
+// many Decoupled instances share one injected executor) gets the batched
+// amortization end to end.  Options carries those knobs; the positional
+// constructor keeps the seed-era sequential defaults for A/B comparison.
 #pragma once
 
 #include <atomic>
@@ -24,7 +33,21 @@ class Decoupled {
   using ErrorReport =
       std::function<void(size_t verifier, const History& witness)>;
 
+  struct Options {
+    SnapshotKind announce_snapshot = SnapshotKind::kDoubleCollect;
+    SnapshotKind monitor_snapshot = SnapshotKind::kDoubleCollect;
+    AStarTraceSink* trace = nullptr;
+    /// Membership-engine knobs (see MonitorCore::Options).
+    size_t checker_threads = 0;
+    engine::TunerPriors priors{};
+    std::shared_ptr<parallel::Executor> executor;
+    const obs::LeveledHooks* obs = nullptr;
+  };
+
   /// n producer slots over black-box `a`, n_verifiers checking contexts.
+  Decoupled(size_t n_producers, size_t n_verifiers, IConcurrent& a,
+            const GenLinObject& obj, ErrorReport on_error, Options options);
+
   Decoupled(size_t n_producers, size_t n_verifiers, IConcurrent& a,
             const GenLinObject& obj, ErrorReport on_error = {},
             SnapshotKind announce_snapshot = SnapshotKind::kDoubleCollect,
@@ -34,7 +57,9 @@ class Decoupled {
   Value apply(ProcId i, Method m, Value arg = kNoArg);
 
   /// One iteration of verifier v's loop (Figure 12, Lines 07-11).  Returns
-  /// the verdict; on false, reports (ERROR, X(τ_v)) through the callback.
+  /// the verdict; on a genuine rejection, reports (ERROR, X(τ_v)) through
+  /// the callback.  A budget overflow settles the verifier sticky-false
+  /// without a report — there is no witness to hand out, only "unknown".
   bool verify_once(size_t v);
 
   History witness(size_t v) const { return core_.sketch(v); }
@@ -42,6 +67,16 @@ class Decoupled {
   uint64_t error_count() const {
     return errors_.load(std::memory_order_relaxed);
   }
+
+  /// Verifier passes that ended in budget overflow (each settled verifier
+  /// counts once).
+  uint64_t overflow_count() const {
+    return overflows_.load(std::memory_order_relaxed);
+  }
+  bool overflowed(size_t v) const { return core_.overflowed(v); }
+
+  /// Aggregated engine counters of the verifier monitors.
+  engine::EngineStats stats() const { return core_.stats(); }
 
   size_t producers() const { return astar_.procs(); }
   size_t verifiers() const { return core_.checkers(); }
@@ -51,6 +86,7 @@ class Decoupled {
   MonitorCore core_;
   ErrorReport on_error_;
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> overflows_{0};
 };
 
 }  // namespace selin

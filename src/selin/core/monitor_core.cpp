@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "selin/engine/stats.hpp"
+#include "selin/lincheck/checker.hpp"
 
 namespace selin {
 
@@ -10,50 +10,69 @@ namespace {
 
 // Checker contexts whose monitors run a parallel engine also shed their
 // checkpoint clones onto snapshot lanes; sequential deployments keep the
-// fully synchronous (and thread-free) discipline.
-LeveledChecker::Options checker_options(
-    size_t checker_threads, std::shared_ptr<parallel::Executor> executor) {
+// fully synchronous (and thread-free) discipline.  TunerPriors seed the
+// leveled checkpoint policy here; their engine fields travel with the
+// GenLinObject itself (make_linearizable_object's priors parameter).
+LeveledChecker::Options checker_options(const MonitorCore::Options& core) {
   LeveledChecker::Options opts;
-  opts.threads = checker_threads;
-  const bool parallel =
-      engine::is_auto_threads(checker_threads) || checker_threads > 1;
+  opts.threads = core.checker_threads;
+  if (core.priors.stride != 0) opts.stride = core.priors.stride;
+  if (core.priors.stripe != 0) opts.stripe = core.priors.stripe;
+  const bool parallel = engine::is_auto_threads(core.checker_threads) ||
+                        core.checker_threads > 1;
   opts.snapshot_lanes = parallel ? 2 : 0;
-  opts.executor = std::move(executor);
+  opts.executor = core.executor;
   return opts;
 }
 
 }  // namespace
 
+void MonitorCore::init_checkers(size_t n_producers, const Options& options) {
+  for (CheckerSlot& c : checkers_) {
+    c.seen.assign(n_producers, nullptr);
+    c.checker =
+        std::make_unique<LeveledChecker>(*obj_, checker_options(options));
+    if (options.obs != nullptr) c.checker->set_obs(options.obs);
+  }
+}
+
+MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
+                         const GenLinObject& obj, const Options& options)
+    : obj_(&obj),
+      m_(make_snapshot<const RecNode*>(options.snapshot, n_producers,
+                                       nullptr)),
+      producers_(n_producers),
+      checkers_(n_checkers) {
+  init_checkers(n_producers, options);
+}
+
+MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
+                         const GenLinObject& obj,
+                         std::unique_ptr<Snapshot<const RecNode*>> m,
+                         const Options& options)
+    : obj_(&obj),
+      m_(std::move(m)),
+      producers_(n_producers),
+      checkers_(n_checkers) {
+  init_checkers(n_producers, options);
+}
+
 MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
                          const GenLinObject& obj, SnapshotKind kind,
                          size_t checker_threads,
                          std::shared_ptr<parallel::Executor> executor)
-    : obj_(&obj),
-      m_(make_snapshot<const RecNode*>(kind, n_producers, nullptr)),
-      producers_(n_producers),
-      checkers_(n_checkers) {
-  for (CheckerSlot& c : checkers_) {
-    c.seen.assign(n_producers, nullptr);
-    c.checker = std::make_unique<LeveledChecker>(
-        obj, checker_options(checker_threads, executor));
-  }
-}
+    : MonitorCore(n_producers, n_checkers, obj,
+                  Options{kind, checker_threads, {}, std::move(executor),
+                          nullptr}) {}
 
 MonitorCore::MonitorCore(size_t n_producers, size_t n_checkers,
                          const GenLinObject& obj,
                          std::unique_ptr<Snapshot<const RecNode*>> m,
                          size_t checker_threads,
                          std::shared_ptr<parallel::Executor> executor)
-    : obj_(&obj),
-      m_(std::move(m)),
-      producers_(n_producers),
-      checkers_(n_checkers) {
-  for (CheckerSlot& c : checkers_) {
-    c.seen.assign(n_producers, nullptr);
-    c.checker = std::make_unique<LeveledChecker>(
-        obj, checker_options(checker_threads, executor));
-  }
-}
+    : MonitorCore(n_producers, n_checkers, obj, std::move(m),
+                  Options{SnapshotKind::kDoubleCollect, checker_threads, {},
+                          std::move(executor), nullptr}) {}
 
 MonitorCore::~MonitorCore() = default;
 
@@ -72,6 +91,10 @@ void MonitorCore::publish(ProcId producer, const OpDesc& op, Value y,
 
 bool MonitorCore::check(size_t checker) {
   CheckerSlot& cs = checkers_[checker];
+  // A settled overflow never clears: membership is unknown and the merged
+  // X(τ) may be missing records, so re-merging could only produce a verdict
+  // we cannot trust.  Skip the snapshot entirely.
+  if (cs.status == CheckStatus::kOverflowed) return false;
   // Line 08: s ← M.Snapshot(); Line 09: τ ← union of entries.  The union is
   // merged incrementally: only chain segments beyond the previously seen
   // heads are new.
@@ -93,14 +116,23 @@ bool MonitorCore::check(size_t checker) {
     }
     cs.seen[j] = h;
   }
+  bool ok;
   if (!dirty.empty()) {
     // Line 10: the membership test X(τ) ∈ O, resumed once below the lowest
     // level the merge touched.  The checker receives the merge's whole
     // dirty-level batch (not just its minimum) so the storm shape is
     // visible where the checkpoint/replay decisions are made.
-    return cs.checker->resync(cs.builder, dirty);
+    try {
+      ok = cs.checker->resync(cs.builder, dirty);
+    } catch (const CheckerOverflow&) {
+      cs.status = CheckStatus::kOverflowed;
+      return false;
+    }
+  } else {
+    ok = cs.checker->ok();
   }
-  return cs.checker->ok();
+  cs.status = ok ? CheckStatus::kOk : CheckStatus::kRejected;
+  return ok;
 }
 
 History MonitorCore::sketch(size_t checker) const {
@@ -109,6 +141,20 @@ History MonitorCore::sketch(size_t checker) const {
 
 size_t MonitorCore::record_count(size_t checker) const {
   return checkers_[checker].builder.record_count();
+}
+
+engine::EngineStats MonitorCore::checker_stats(size_t checker) const {
+  return checkers_[checker].checker->stats();
+}
+
+engine::EngineStats MonitorCore::stats() const {
+  engine::EngineStats total;
+  total.lanes = 0;  // all-zero identity for the max-merged fields
+  for (const CheckerSlot& cs : checkers_) {
+    engine::accumulate(total, cs.checker->stats());
+  }
+  if (total.lanes == 0) total.lanes = 1;
+  return total;
 }
 
 }  // namespace selin

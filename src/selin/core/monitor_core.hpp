@@ -8,14 +8,28 @@
 // their private LeveledChecker (Lines 08-10).  All cross-thread
 // communication goes through the snapshot object — read/write base objects
 // only, per Theorem 8.1(1).
+//
+// The checking side rides the modern membership engine: each checker's
+// LeveledChecker feeds stride segments through feed_batch into a
+// fingerprinted FrontierEngine monitor, and Options carries the engine
+// knobs (threads=auto, TunerPriors, a shared parallel::Executor, obs
+// hooks) so enforcement deployments get the same batched/adaptive hot path
+// as plain history checking.  An exploration-budget overflow
+// (CheckerOverflow) is absorbed into a sticky per-checker kOverflowed
+// status instead of escaping the wait-free loop.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "selin/engine/stats.hpp"
 #include "selin/snapshot/snapshot.hpp"
 #include "selin/spec/spec.hpp"
 #include "selin/views/leveled_history.hpp"
+
+namespace selin::obs {
+struct LeveledHooks;  // obs/hooks.hpp — instrumentation bundle, borrowed
+}  // namespace selin::obs
 
 namespace selin {
 
@@ -28,26 +42,59 @@ struct RecNode {
 
 class MonitorCore {
  public:
+  /// Engine knobs shared by every checker context.  Defaults reproduce the
+  /// seed-era fully sequential discipline, so the unported call sites (and
+  /// the A/B baseline arms in bench_self_enforced) are unchanged.
+  struct Options {
+    /// Snapshot flavor for a core-built M (ignored when the caller provides
+    /// M, e.g. the ABD record object).
+    SnapshotKind snapshot = SnapshotKind::kDoubleCollect;
+    /// Forwarded to each checker's membership monitors (0 = the object's
+    /// default; > 1 runs the membership test P_O on the parallel sharded
+    /// frontier engine; engine::kAutoThreads picks sequential vs sharded
+    /// per feed round, optionally | engine::kTuneFlag for stats-feedback
+    /// tuning — the monitor threads belong to the checker that owns them,
+    /// so the wait-free cross-thread protocol through M is unchanged).  Any
+    /// parallel request also turns on the leveled checkers' deferred
+    /// snapshotting, moving checkpoint clones onto snapshot lanes.
+    size_t checker_threads = 0;
+    /// Warm-start seeds for the checkers (stride/stripe reach the leveled
+    /// checkpoint policy; the engine fields ride into the monitors via the
+    /// GenLinObject's own priors).  Zero fields keep the defaults.
+    engine::TunerPriors priors{};
+    /// Shared lane provider for the checkers' snapshot lanes (nullptr =
+    /// private lazily-created pools).  Pass the executor the GenLinObject
+    /// was built with to keep one bounded thread pool across N enforced
+    /// objects' checkers in a multi-tenant deployment.
+    std::shared_ptr<parallel::Executor> executor;
+    /// Instrumentation bundle attached to every checker (and through it to
+    /// the membership monitors); must outlive the core.  nullptr = none.
+    const obs::LeveledHooks* obs = nullptr;
+  };
+
+  /// Verdict state of one checking context.  kOverflowed means the
+  /// exploration budget was exceeded: membership is *unknown*, the status
+  /// is sticky, and check() keeps returning false without re-raising —
+  /// enforcement treats it as a (conservative) permanent error, per the
+  /// sticky-after-prefix shape of Theorem 8.2.
+  enum class CheckStatus { kOk, kRejected, kOverflowed };
+
   /// n_producers writable entries in M; n_checkers independent checking
   /// contexts (per-process in Figures 10/11; per-verifier in Figure 12).
-  /// `checker_threads` is forwarded to each checker's membership monitors
-  /// (0 = the object's default; > 1 runs the membership test P_O on the
-  /// parallel sharded frontier engine; engine::kAutoThreads picks
-  /// sequential vs sharded per feed round, optionally | engine::kTuneFlag
-  /// for stats-feedback tuning — the monitor threads belong to the checker
-  /// that owns them, so the wait-free cross-thread protocol through M is
-  /// unchanged).  Any parallel request also turns on the leveled checkers'
-  /// deferred snapshotting, moving checkpoint clones onto snapshot lanes.
-  /// `executor` (nullptr = private lazily-created pools) is the shared lane
-  /// provider for those snapshot lanes; pass the executor the GenLinObject
-  /// was built with to keep one bounded thread pool across N cores'
-  /// checkers in a multi-tenant deployment.
+  MonitorCore(size_t n_producers, size_t n_checkers, const GenLinObject& obj,
+              const Options& options);
+
+  /// Same, with a caller-provided record object M (e.g. ABD, Section 9.4).
+  MonitorCore(size_t n_producers, size_t n_checkers, const GenLinObject& obj,
+              std::unique_ptr<Snapshot<const RecNode*>> m,
+              const Options& options);
+
+  /// Seed-era signatures, kept delegating so existing call sites (and the
+  /// sequential A/B baseline) compile unchanged.
   MonitorCore(size_t n_producers, size_t n_checkers, const GenLinObject& obj,
               SnapshotKind kind = SnapshotKind::kDoubleCollect,
               size_t checker_threads = 0,
               std::shared_ptr<parallel::Executor> executor = nullptr);
-
-  /// Same, with a caller-provided record object M (e.g. ABD, Section 9.4).
   MonitorCore(size_t n_producers, size_t n_checkers, const GenLinObject& obj,
               std::unique_ptr<Snapshot<const RecNode*>> m,
               size_t checker_threads = 0,
@@ -58,8 +105,18 @@ class MonitorCore {
   void publish(ProcId producer, const OpDesc& op, Value y, View view);
 
   /// One checking pass for `checker`: M.Snapshot(), τ ← union, rebuild the
-  /// affected suffix of X(τ) and return the verdict X(τ) ∈ O.
+  /// affected suffix of X(τ) and return the verdict X(τ) ∈ O.  An overflow
+  /// of the monitor's exploration budget settles the checker at
+  /// kOverflowed; from then on check() returns false without merging.
   bool check(size_t checker);
+
+  /// Verdict state of `checker`'s latest pass (sticky once not kOk).
+  CheckStatus check_status(size_t checker) const {
+    return checkers_[checker].status;
+  }
+  bool overflowed(size_t checker) const {
+    return checkers_[checker].status == CheckStatus::kOverflowed;
+  }
 
   /// X(τ) of this checker's latest pass — the ERROR witness (Theorem 8.1)
   /// and the certificate of Theorem 8.2(3).
@@ -67,6 +124,13 @@ class MonitorCore {
 
   /// λ-records currently merged by this checker (diagnostics).
   size_t record_count(size_t checker) const;
+
+  /// Engine counters of one checker's live monitor.
+  engine::EngineStats checker_stats(size_t checker) const;
+
+  /// Engine counters aggregated across all checkers (engine::accumulate) —
+  /// what an enforced object reports under --stats-json / --metrics.
+  engine::EngineStats stats() const;
 
   const GenLinObject& object() const { return *obj_; }
   size_t producers() const { return producers_.size(); }
@@ -83,7 +147,10 @@ class MonitorCore {
     std::vector<size_t> dirty_scratch;  // dirty levels of the current pass
     XBuilder builder;
     std::unique_ptr<LeveledChecker> checker;
+    CheckStatus status = CheckStatus::kOk;
   };
+
+  void init_checkers(size_t n_producers, const Options& options);
 
   const GenLinObject* obj_;
   std::unique_ptr<Snapshot<const RecNode*>> m_;  // the object M

@@ -11,6 +11,12 @@
 // execution is correct up to a prefix after which every new operation
 // returns ERROR with a witness; and a certificate history similar to the
 // current history is available on demand (certificate()).
+//
+// The membership side runs on the modern engine: Options carries the
+// checker-threads knob, TunerPriors, a shared executor and obs hooks down
+// to MonitorCore, so V_{O,A}'s per-operation test X(τ_i) ∈ O rides the
+// fingerprinted batched frontier engine instead of the seed-era sequential
+// checker.  Defaults keep the sequential discipline (the A/B baseline).
 #pragma once
 
 #include <atomic>
@@ -26,11 +32,22 @@ class SelfEnforced {
     SnapshotKind announce_snapshot = SnapshotKind::kDoubleCollect;
     SnapshotKind monitor_snapshot = SnapshotKind::kDoubleCollect;
     AStarTraceSink* trace = nullptr;
+    /// Membership-engine knobs (see MonitorCore::Options); defaults are the
+    /// seed-era sequential checker.
+    size_t checker_threads = 0;
+    engine::TunerPriors priors{};
+    std::shared_ptr<parallel::Executor> executor;
+    const obs::LeveledHooks* obs = nullptr;
   };
 
   struct Outcome {
     Value value;  ///< y_i, or kError
     bool error;   ///< true iff the verification layer rejected
+    /// True iff the rejection was an exploration-budget overflow: the
+    /// verdict is *unknown* rather than proven wrong, and (like a genuine
+    /// detection) it is sticky — every later operation of this process
+    /// keeps returning ERROR.
+    bool overflow = false;
   };
 
   /// n process slots over black-box `a`, enforcing membership in `obj`.
@@ -41,12 +58,24 @@ class SelfEnforced {
       : SelfEnforced(n, a, obj, Options{}) {}
 
   /// Caller-provided base objects for N and M — e.g. ABD snapshots, making
-  /// the whole stack run over message passing (Section 9.4).
+  /// the whole stack run over message passing (Section 9.4).  The Options
+  /// overload forwards the engine knobs; snapshot kinds are ignored (the
+  /// provided objects are the snapshots).
+  SelfEnforced(size_t n, IConcurrent& a, const GenLinObject& obj,
+               std::unique_ptr<Snapshot<const SetNode*>> announce,
+               std::unique_ptr<Snapshot<const RecNode*>> records,
+               Options options)
+      : astar_(n, a, std::move(announce), options.trace),
+        core_(n, n, obj, std::move(records),
+              MonitorCore::Options{options.monitor_snapshot,
+                                   options.checker_threads, options.priors,
+                                   std::move(options.executor), options.obs}) {
+  }
   SelfEnforced(size_t n, IConcurrent& a, const GenLinObject& obj,
                std::unique_ptr<Snapshot<const SetNode*>> announce,
                std::unique_ptr<Snapshot<const RecNode*>> records)
-      : astar_(n, a, std::move(announce)),
-        core_(n, n, obj, std::move(records)) {}
+      : SelfEnforced(n, a, obj, std::move(announce), std::move(records),
+                     Options{}) {}
 
   /// Apply(op_i) of Figure 11.  Wait-free given a wait-free A and snapshot.
   Outcome apply(ProcId i, Method m, Value arg = kNoArg);
@@ -55,10 +84,17 @@ class SelfEnforced {
   /// the forensic certificate.  Reflects process i's latest check.
   History certificate(ProcId i) const { return core_.sketch(i); }
 
-  /// Number of operations that returned ERROR so far (all processes).
+  /// Number of operations that returned ERROR so far (all processes,
+  /// overflow rejections included).
   uint64_t error_count() const {
     return errors_.load(std::memory_order_relaxed);
   }
+
+  /// True iff process i's checker settled at budget overflow (sticky).
+  bool overflowed(ProcId i) const { return core_.overflowed(i); }
+
+  /// Aggregated engine counters of the enforcement monitors.
+  engine::EngineStats stats() const { return core_.stats(); }
 
   AStar& astar() { return astar_; }
   const GenLinObject& object() const { return core_.object(); }

@@ -31,8 +31,20 @@ class Verifier {
   using ErrorReport =
       std::function<void(ProcId reporter, const History& witness)>;
 
+  struct Options {
+    SnapshotKind monitor_snapshot = SnapshotKind::kDoubleCollect;
+    /// Membership-engine knobs (see MonitorCore::Options); defaults keep
+    /// the seed-era sequential checker.
+    size_t checker_threads = 0;
+    engine::TunerPriors priors{};
+    std::shared_ptr<parallel::Executor> executor;
+    const obs::LeveledHooks* obs = nullptr;
+  };
+
   /// Verifies the DRV implementation `astar` against `obj`; both must
   /// outlive the verifier.
+  Verifier(AStar& astar, const GenLinObject& obj, ErrorReport on_error,
+           Options options);
   Verifier(AStar& astar, const GenLinObject& obj, ErrorReport on_error = {},
            SnapshotKind monitor_snapshot = SnapshotKind::kDoubleCollect);
 
@@ -48,6 +60,13 @@ class Verifier {
 
   /// X(τ_i) from process i's latest iteration.
   History sketch(ProcId i) const { return core_.sketch(i); }
+
+  /// True iff process i's checker settled at budget overflow (sticky; such
+  /// passes count toward error_count() but carry no witness).
+  bool overflowed(ProcId i) const { return core_.overflowed(i); }
+
+  /// Aggregated engine counters of the verification monitors.
+  engine::EngineStats stats() const { return core_.stats(); }
 
  private:
   AStar* astar_;

@@ -83,6 +83,35 @@ struct EngineStats {
   uint64_t priors_applied = 0;   ///< tuner knobs seeded from TunerPriors
 };
 
+/// Merge `from` into `into`: counters add, widths/lane counts take the
+/// maximum.  The aggregation callers use to report one EngineStats for a
+/// group of engines (MonitorCore's per-checker monitors, a cluster's
+/// sessions) under the same 16-key JSON schema as a single engine.
+inline void accumulate(EngineStats& into, const EngineStats& from) {
+  into.lanes = into.lanes > from.lanes ? into.lanes : from.lanes;
+  into.events_fed += from.events_fed;
+  into.rounds_sequential += from.rounds_sequential;
+  into.rounds_parallel += from.rounds_parallel;
+  into.peak_frontier =
+      into.peak_frontier > from.peak_frontier ? into.peak_frontier
+                                              : from.peak_frontier;
+  into.dedup_probes += from.dedup_probes;
+  into.dedup_hits += from.dedup_hits;
+  into.states_recycled += from.states_recycled;
+  into.engage_width = into.engage_width > from.engage_width
+                          ? into.engage_width
+                          : from.engage_width;
+  into.retreat_width = into.retreat_width > from.retreat_width
+                           ? into.retreat_width
+                           : from.retreat_width;
+  into.mode_switches += from.mode_switches;
+  into.tuner_updates += from.tuner_updates;
+  into.probe_batches += from.probe_batches;
+  into.prefetch_batches += from.prefetch_batches;
+  into.filter_in_place_rounds += from.filter_in_place_rounds;
+  into.priors_applied += from.priors_applied;
+}
+
 /// Warm-start seeds for the adaptive engine and the leveled checker,
 /// derived from a *recorded* run over a similar workload (engine stats for
 /// the engage/retreat/lane knobs, LeveledChecker counters for the

@@ -7,17 +7,23 @@
 
 namespace selin {
 
-AbdService::AbdService(size_t replicas, uint64_t seed, uint64_t max_delay_us)
-    : max_delay_us_(max_delay_us) {
-  replicas_.reserve(replicas);
-  for (size_t r = 0; r < replicas; ++r) {
+AbdService::AbdService(const Options& options)
+    : opts_(options),
+      max_delay_us_(options.max_delay_us),
+      drop_state_(options.seed * 0x9E3779B97F4A7C15ull + 1) {
+  replicas_.reserve(opts_.replicas);
+  for (size_t r = 0; r < opts_.replicas; ++r) {
     replicas_.push_back(std::make_unique<Replica>());
   }
-  for (size_t r = 0; r < replicas; ++r) {
+  const uint64_t seed = opts_.seed;
+  for (size_t r = 0; r < opts_.replicas; ++r) {
     replicas_[r]->thread =
         std::thread([this, r, seed] { replica_loop(r, seed ^ (r * 7919)); });
   }
 }
+
+AbdService::AbdService(size_t replicas, uint64_t seed, uint64_t max_delay_us)
+    : AbdService(Options{replicas, seed, max_delay_us}) {}
 
 AbdService::~AbdService() {
   for (auto& rep : replicas_) {
@@ -53,6 +59,30 @@ uint64_t AbdService::messages_processed() const {
   return processed_.load(std::memory_order_relaxed);
 }
 
+uint64_t AbdService::messages_dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+uint64_t AbdService::retransmissions() const {
+  return retransmits_.load(std::memory_order_relaxed);
+}
+
+bool AbdService::drop_message() {
+  if (opts_.drop_permille == 0) return false;
+  // splitmix64 over a shared seeded counter: reproducible loss *rate* (the
+  // exact victims depend on cross-thread interleaving, as real loss does).
+  uint64_t x = drop_state_.fetch_add(0x9E3779B97F4A7C15ull,
+                                     std::memory_order_relaxed);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  if (x % 1000 >= opts_.drop_permille) return false;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 void AbdService::replica_loop(size_t r, uint64_t seed) {
   Replica& rep = *replicas_[r];
   Rng rng(seed);
@@ -66,8 +96,15 @@ void AbdService::replica_loop(size_t r, uint64_t seed) {
         rep.inbox.clear();
         continue;
       }
-      m = rep.inbox.front();
-      rep.inbox.pop_front();
+      if (opts_.reorder && rep.inbox.size() > 1) {
+        // Asynchronous links: deliver any pending message, not the oldest.
+        size_t idx = rng.below(rep.inbox.size());
+        m = rep.inbox[idx];
+        rep.inbox.erase(rep.inbox.begin() + static_cast<ptrdiff_t>(idx));
+      } else {
+        m = rep.inbox.front();
+        rep.inbox.pop_front();
+      }
     }
     // Simulated asynchrony: a random processing delay per message.
     if (max_delay_us_ > 0) {
@@ -104,6 +141,7 @@ void AbdService::replica_loop(size_t r, uint64_t seed) {
 }
 
 void AbdService::post(size_t r, const Msg& m) {
+  if (drop_message()) return;  // lossy request link
   Replica& rep = *replicas_[r];
   {
     std::lock_guard<std::mutex> lock(rep.mu);
@@ -119,12 +157,14 @@ void AbdService::broadcast(const Msg& m) {
 
 uint64_t AbdService::register_rid(std::shared_ptr<Pending> p) {
   uint64_t rid = next_rid_.fetch_add(1, std::memory_order_relaxed);
+  p->seen.assign(replicas_.size(), 0);
   std::lock_guard<std::mutex> lock(pending_mu_);
   pending_.emplace(rid, std::move(p));
   return rid;
 }
 
 void AbdService::deliver_reply(const Msg& m) {
+  if (drop_message()) return;  // lossy reply link
   std::shared_ptr<Pending> p;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
@@ -134,19 +174,42 @@ void AbdService::deliver_reply(const Msg& m) {
   }
   {
     std::lock_guard<std::mutex> lock(p->mu);
+    // Retransmitted requests produce duplicate replies; a quorum counts
+    // distinct replicas, so only the first reply per replica lands.
+    if (p->seen[m.replica]) return;
+    p->seen[m.replica] = 1;
     p->replies.push_back(m);
   }
   p->cv.notify_all();
 }
 
-std::vector<AbdService::Msg> AbdService::await_quorum(uint64_t rid) {
+std::vector<AbdService::Msg> AbdService::await_quorum(uint64_t rid,
+                                                      const Msg& request) {
   std::shared_ptr<Pending> p;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     p = pending_.at(rid);
   }
+  const bool lossy = opts_.drop_permille > 0;
+  // Under lossy links, rebroadcast the (idempotent) request whenever a
+  // retransmission interval passes without reaching a quorum.  The interval
+  // leaves room for the simulated processing delays so a healthy exchange
+  // rarely retransmits.
+  const auto interval = std::chrono::microseconds(
+      opts_.retransmit_us != 0 ? opts_.retransmit_us
+                               : 200 + 4 * max_delay_us_);
   std::unique_lock<std::mutex> lock(p->mu);
-  p->cv.wait(lock, [&] { return p->replies.size() >= quorum(); });
+  auto quorum_reached = [&] { return p->replies.size() >= quorum(); };
+  if (lossy) {
+    while (!p->cv.wait_for(lock, interval, quorum_reached)) {
+      retransmits_.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      broadcast(request);
+      lock.lock();
+    }
+  } else {
+    p->cv.wait(lock, quorum_reached);
+  }
   std::vector<Msg> out = p->replies;
   lock.unlock();
   {
@@ -161,7 +224,7 @@ AbdService::Versioned AbdService::read(uint64_t key) {
   auto p1 = std::make_shared<Pending>();
   Msg get{Msg::Type::kGet, register_rid(p1), key, {}, 0};
   broadcast(get);
-  std::vector<Msg> replies = await_quorum(get.rid);
+  std::vector<Msg> replies = await_quorum(get.rid, get);
   Versioned best{};
   for (const Msg& m : replies) {
     if (m.data.ts > best.ts ||
@@ -173,7 +236,7 @@ AbdService::Versioned AbdService::read(uint64_t key) {
   auto p2 = std::make_shared<Pending>();
   Msg put{Msg::Type::kPut, register_rid(p2), key, best, 0};
   broadcast(put);
-  await_quorum(put.rid);
+  await_quorum(put.rid, put);
   return best;
 }
 
@@ -182,7 +245,7 @@ void AbdService::write(uint64_t key, uint64_t value, uint32_t wid) {
   auto p1 = std::make_shared<Pending>();
   Msg get{Msg::Type::kGet, register_rid(p1), key, {}, 0};
   broadcast(get);
-  std::vector<Msg> replies = await_quorum(get.rid);
+  std::vector<Msg> replies = await_quorum(get.rid, get);
   uint64_t max_ts = 0;
   for (const Msg& m : replies) max_ts = std::max(max_ts, m.data.ts);
   // Phase 2: install (value, max_ts+1, wid) at a majority.
@@ -190,7 +253,7 @@ void AbdService::write(uint64_t key, uint64_t value, uint32_t wid) {
   Msg put{Msg::Type::kPut, register_rid(p2), key,
           Versioned{value, max_ts + 1, wid}, 0};
   broadcast(put);
-  await_quorum(put.rid);
+  await_quorum(put.rid, put);
 }
 
 namespace {

@@ -22,6 +22,7 @@
 // write-backs) under study.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -49,8 +50,30 @@ class AbdService {
     uint32_t wid = 0;   ///< writer id (timestamp tie-break)
   };
 
-  /// `replicas` must be >= 1; tolerates ceil(replicas/2)-1 crashes.
-  /// `max_delay_us` bounds the simulated per-message processing delay.
+  /// Network-adversity knobs (sim/-style seeded fault injection).  The
+  /// defaults reproduce the seed-era reliable-FIFO links; the cluster bench
+  /// and the differential tests turn the faults on.
+  struct Options {
+    /// Must be >= 1; tolerates ceil(replicas/2)-1 crashes.
+    size_t replicas = 3;
+    uint64_t seed = 1;
+    /// Bounds the simulated per-message processing delay.
+    uint64_t max_delay_us = 20;
+    /// Per-message drop probability in permille (applied independently to
+    /// requests and replies).  Lost messages are recovered by
+    /// retransmission: ABD's phases are idempotent, so clients simply
+    /// rebroadcast an unanswered request (see retransmit_us).
+    uint32_t drop_permille = 0;
+    /// Deliver inbox messages in random order instead of FIFO — the
+    /// asynchronous-network reordering the protocol must tolerate.
+    bool reorder = false;
+    /// Client retransmission interval under lossy links; 0 picks a bound
+    /// from max_delay_us.  Only consulted when drop_permille > 0.
+    uint64_t retransmit_us = 0;
+  };
+
+  explicit AbdService(const Options& options);
+  /// Seed-era signature (reliable links), kept delegating.
   explicit AbdService(size_t replicas, uint64_t seed = 1,
                       uint64_t max_delay_us = 20);
   ~AbdService();
@@ -77,6 +100,12 @@ class AbdService {
   /// Total messages processed (diagnostics / benches).
   uint64_t messages_processed() const;
 
+  /// Messages lost to the simulated lossy links (requests + replies).
+  uint64_t messages_dropped() const;
+
+  /// Client rebroadcasts triggered by reply timeouts under lossy links.
+  uint64_t retransmissions() const;
+
  private:
   struct Msg {
     enum class Type : uint8_t { kGet, kPut, kGetReply, kPutAck };
@@ -101,23 +130,34 @@ class AbdService {
     std::mutex mu;
     std::condition_variable cv;
     std::vector<Msg> replies;
+    /// Distinct-replica dedupe: retransmission makes duplicate replies
+    /// possible, and a quorum must count *replicas*, not messages.
+    std::vector<uint8_t> seen;
   };
 
   void replica_loop(size_t r, uint64_t seed);
   void post(size_t r, const Msg& m);
   void broadcast(const Msg& m);
-  /// Blocks until `quorum()` replies for rid are available; returns them.
-  std::vector<Msg> await_quorum(uint64_t rid);
+  /// Blocks until a quorum of *distinct replicas* replied to rid; under
+  /// lossy links, rebroadcasts `request` every retransmission interval
+  /// (ABD phases are idempotent, so duplicates are harmless and deduped).
+  std::vector<Msg> await_quorum(uint64_t rid, const Msg& request);
   uint64_t register_rid(std::shared_ptr<Pending> p);
   void deliver_reply(const Msg& m);
+  /// Seeded coin for the lossy links; true = this message is lost.
+  bool drop_message();
 
   std::vector<std::unique_ptr<Replica>> replicas_;
+  Options opts_;
   uint64_t max_delay_us_;
 
   std::mutex pending_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending_;
   std::atomic<uint64_t> next_rid_{1};
   std::atomic<uint64_t> processed_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> retransmits_{0};
+  std::atomic<uint64_t> drop_state_{0};
 };
 
 /// Snapshot over ABD registers: entry i is the ABD register with key i; a

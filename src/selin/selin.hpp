@@ -24,6 +24,7 @@
 #include "selin/lincheck/monitor.hpp"
 #include "selin/lincheck/setlin_checker.hpp"
 #include "selin/msgpass/abd.hpp"
+#include "selin/msgpass/abd_cluster.hpp"
 #include "selin/parallel/executor.hpp"
 #include "selin/parallel/shard_pool.hpp"
 #include "selin/parallel/sharded_frontier.hpp"

@@ -20,6 +20,7 @@
 #include <span>
 #include <string>
 
+#include "selin/engine/stats.hpp"
 #include "selin/history/history.hpp"
 
 namespace selin::obs {
@@ -104,6 +105,13 @@ class MembershipMonitor {
   /// clones inherit the attachment.  Default: no-op, for monitors without
   /// an instrumented engine.
   virtual void attach_obs(const obs::EngineHooks* hooks) { (void)hooks; }
+
+  /// Execution counters of the monitor's engine (engine/stats.hpp).
+  /// Default: all-zero, for monitors without an instrumented engine; the
+  /// frontier-engine facades report their real counters, which is how
+  /// enforced objects surface engine stats through LeveledChecker /
+  /// MonitorCore without knowing the concrete checker type.
+  virtual engine::EngineStats stats() const { return {}; }
 };
 
 /// An abstract object in the sense of Section 7.1: a set of well-formed

@@ -79,6 +79,10 @@ LeveledChecker::LeveledChecker(const GenLinObject& obj, const Options& opts)
 
 LeveledChecker::~LeveledChecker() = default;
 
+engine::EngineStats LeveledChecker::stats() const {
+  return cur_ != nullptr ? cur_->stats() : engine::EngineStats{};
+}
+
 void LeveledChecker::set_obs(const obs::LeveledHooks* hooks) {
   obs_ = hooks;
   if (cur_ != nullptr) {

@@ -178,6 +178,12 @@ class LeveledChecker {
   /// Levels consumed by the live monitor (diagnostics).
   size_t levels_fed() const { return fed_; }
 
+  /// Execution counters of the live monitor's engine; all-zero before the
+  /// first feed.  Checkpoint clones re-count from the fork, so after a
+  /// rollback the counters reflect the state actually replayed — the number
+  /// an enforced object should report as "checking work done".
+  engine::EngineStats stats() const;
+
   uint64_t rollbacks() const { return rollbacks_; }
   /// Previously fed levels re-fed by rollbacks (appended-for-the-first-time
   /// levels are not replay cost).

@@ -197,6 +197,48 @@ assert len(sessions) == $((${#ok_files[@]} + 1)), sessions
 else
   echo "ok: multi-mode --metrics - merges session + service registries"
 fi
+# ---- enforcement replay (--enforced) ---------------------------------------
+# A good history re-runs the Figure 11 per-op path clean (exit 0); a
+# violating one is flagged by some process's check (exit 1); the sustained-
+# width sample blows a checker's budget (exit 3, verdict unknown).
+expect 0 "$bin" queue "${ok_files[0]}" --enforced
+expect_grep '^ENFORCED OK'
+expect 1 "$bin" queue "$tmp/hists/bad_fifo.hist" --enforced
+expect_grep '^FLAGGED'
+expect 3 "$bin" queue "$overflow" --enforced
+expect 2 "$bin" queue "$tmp/hists/broken.hist" --enforced
+# Mode guards: --enforced is single-history only and excludes --witness.
+expect 2 "$bin" queue "${ok_files[@]}" --jobs 2 --enforced
+expect 2 "$bin" queue "${ok_files[0]}" --enforced --witness
+# --stats-json surfaces the aggregated checker EngineStats with the same
+# pinned key set as membership mode (enforced objects are not opaque to the
+# observability plane).
+expect 0 "$bin" queue "${ok_files[0]}" --enforced --quiet --stats-json
+json_has "$tmp/out" lanes events_fed rounds_sequential rounds_parallel \
+  peak_frontier dedup_probes dedup_hits states_recycled engage_width \
+  retreat_width mode_switches tuner_updates probe_batches prefetch_batches \
+  filter_in_place_rounds priors_applied
+# --metrics -: a parseable document with engine instruments attached to the
+# enforcement checkers; the verdict exit code passes through.
+expect 0 "$bin" queue "${ok_files[0]}" --enforced --metrics -
+json_has "$tmp/out" metrics
+if ! python3 -c "
+import json
+doc = json.load(open('$tmp/out'))
+names = {m['name'] for m in doc['metrics']}
+assert 'engine_events_fed' in names, names
+"; then
+  echo "FAIL: --enforced --metrics - missing engine instruments" >&2
+  sed 's/^/  out: /' "$tmp/out" >&2
+  fails=$((fails + 1))
+else
+  echo "ok: --enforced --metrics - carries engine instruments"
+fi
+expect 1 "$bin" queue "$tmp/hists/bad_fifo.hist" --enforced --metrics -
+json_has "$tmp/out" metrics
+# --threads auto works on the enforcement path too.
+expect 0 "$bin" queue "${ok_files[0]}" --enforced --threads auto --tune --quiet
+
 # Multi-mode --stats-json: one {file, stats} line per session.
 expect 0 "$bin" queue "${ok_files[@]}" --jobs 2 --quiet --stats-json
 if ! python3 -c "

@@ -4,7 +4,7 @@
 # perf trajectory is tracked PR over PR.
 #
 # Usage: tools/run_bench.sh [build-dir] \
-#            [--facet all|parallel_scaling|leveled_replay|multi_session|frontier_memory|obs_overhead|closure_hot|ingest] \
+#            [--facet all|parallel_scaling|leveled_replay|multi_session|frontier_memory|obs_overhead|closure_hot|ingest|enforced|abd_cluster] \
 #            [--allow-non-release]
 #
 # Recorded numbers are only comparable between optimized builds, so the
@@ -43,7 +43,15 @@
 # prefetch on and off; raw run shape, gated by tools/bench_gate.py), and
 # --facet ingest for the live-ingest facet (bench_ingest: binary wire decode
 # vs text parse vs MPSC publish+drain; raw run shape, excluded from the
-# gate — see BM_Ingest in tools/bench_gate.py).
+# gate — see BM_Ingest in tools/bench_gate.py), and --facet enforced for the
+# enforcement-port A/B (bench_self_enforced's BM_EnforcedVerifiedOps:
+# verified-op throughput of the seed-era sequential discipline vs the ported
+# coupled and decoupled engine paths; the facet stores per-mode items/s and
+# speedup_vs_seed ratios — the PR 10 acceptance bar is decoupled >= 5x), and
+# --facet abd_cluster for the monitored-ABD-cluster sweep (bench_abd_cluster:
+# hundreds-to-thousands of logical clients over reliable and lossy/reordered
+# simulated links, every op runtime-verified; stores verified-ops/s plus
+# protocol-message/drop/retransmit counters per (clients, loss) point).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -74,8 +82,8 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 case "$facet" in
-  all|parallel_scaling|leveled_replay|multi_session|frontier_memory|obs_overhead|closure_hot|ingest) ;;
-  *) echo "error: unknown facet '$facet' (all | parallel_scaling | leveled_replay | multi_session | frontier_memory | obs_overhead | closure_hot | ingest)" >&2; exit 2 ;;
+  all|parallel_scaling|leveled_replay|multi_session|frontier_memory|obs_overhead|closure_hot|ingest|enforced|abd_cluster) ;;
+  *) echo "error: unknown facet '$facet' (all | parallel_scaling | leveled_replay | multi_session | frontier_memory | obs_overhead | closure_hot | ingest | enforced | abd_cluster)" >&2; exit 2 ;;
 esac
 
 tmp="$(mktemp -d)"
@@ -187,6 +195,26 @@ elif [[ "$facet" == "ingest" ]]; then
       --benchmark_min_time=0.1 --benchmark_repetitions=3 \
       --benchmark_report_aggregates_only=false \
       --benchmark_out="$tmp/ingest.json" --benchmark_out_format=json
+elif [[ "$facet" == "enforced" ]]; then
+  if [[ ! -x "$build_dir/bench_self_enforced" ]]; then
+    echo "error: bench_self_enforced not built in $build_dir" >&2
+    exit 1
+  fi
+  # Fixed-iteration A/B: repetitions damp scheduler jitter and the facet
+  # stores the best repetition per mode, so the speedup ratio is stable
+  # even on a loaded host.
+  "$build_dir/bench_self_enforced" \
+      --benchmark_filter='BM_EnforcedVerifiedOps' \
+      --benchmark_repetitions=3 \
+      --benchmark_report_aggregates_only=false \
+      --benchmark_out="$tmp/enforced.json" --benchmark_out_format=json
+elif [[ "$facet" == "abd_cluster" ]]; then
+  if [[ ! -x "$build_dir/bench_abd_cluster" ]]; then
+    echo "error: bench_abd_cluster not built in $build_dir" >&2
+    exit 1
+  fi
+  "$build_dir/bench_abd_cluster" \
+      --benchmark_out="$tmp/abd_cluster.json" --benchmark_out_format=json
 else
   if [[ ! -x "$build_dir/bench_detection" ]]; then
     echo "error: benchmarks not built in $build_dir (cmake -B build -S . && cmake --build build -j)" >&2
@@ -226,13 +254,25 @@ else
         --benchmark_report_aggregates_only=false \
         --benchmark_out="$tmp/ingest.json" --benchmark_out_format=json
   fi
+  if [[ -x "$build_dir/bench_self_enforced" ]]; then
+    "$build_dir/bench_self_enforced" \
+        --benchmark_filter='BM_EnforcedVerifiedOps' \
+        --benchmark_repetitions=3 \
+        --benchmark_report_aggregates_only=false \
+        --benchmark_out="$tmp/enforced.json" --benchmark_out_format=json
+  fi
+  if [[ -x "$build_dir/bench_abd_cluster" ]]; then
+    "$build_dir/bench_abd_cluster" \
+        --benchmark_out="$tmp/abd_cluster.json" --benchmark_out_format=json
+  fi
 fi
 
-python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$tmp/leveled.json" "$tmp/multi_session.json" "$tmp/frontier_memory.json" "$tmp/obs_overhead.json" "$tmp/closure_hot.json" "$tmp/ingest.json" "$out" <<'EOF'
+python3 - "$facet" "$tmp/lincheck.json" "$tmp/detection.json" "$tmp/leveled.json" "$tmp/multi_session.json" "$tmp/frontier_memory.json" "$tmp/obs_overhead.json" "$tmp/closure_hot.json" "$tmp/ingest.json" "$tmp/enforced.json" "$tmp/abd_cluster.json" "$out" <<'EOF'
 import json, os, sys
 
 (mode, lincheck, detection, leveled, multi_session, frontier_memory,
- obs_overhead, closure_hot, ingest, out) = sys.argv[1:11]
+ obs_overhead, closure_hot, ingest, enforced, abd_cluster,
+ out) = sys.argv[1:13]
 
 # The build type of the *bench binaries* (what run_bench.sh just built and
 # measured); the benchmark library's own build type is recorded separately
@@ -418,6 +458,77 @@ def obs_overhead_facet(run):
         "budget_pct": 2.0,
     })
 
+def enforced_facet(run):
+    """The enforcement-port A/B (bench_self_enforced's
+    BM_EnforcedVerifiedOps): verified-op throughput of the seed-era
+    sequential enforcement discipline (mode 0) vs the ported coupled engine
+    path (mode 1) and the batched decoupled deployment (mode 2), one driver
+    thread, identical op stream.  Stores the best repetition per mode plus
+    speedup_vs_seed ratios — the PR 10 acceptance bar is
+    ported-decoupled >= 5.  Excluded from the wall-time gate
+    (tools/bench_gate.py): the gated quantity is the ratio between arms,
+    recorded here directly."""
+    arms = {"0": "seed-coupled", "1": "ported-coupled", "2": "ported-decoupled"}
+    per_arm = {}
+    for b in run["benchmarks"]:
+        name = b.get("name", "")
+        if (not name.startswith("BM_EnforcedVerifiedOps/")
+                or b.get("run_type") == "aggregate"
+                or "items_per_second" not in b):
+            continue
+        arm = arms.get(name.split("/")[1])
+        if arm is None:
+            continue
+        cur = per_arm.get(arm)
+        if cur is None or b["items_per_second"] > cur:
+            per_arm[arm] = b["items_per_second"]
+    if "seed-coupled" not in per_arm:
+        return None
+    base = per_arm["seed-coupled"]
+    return tag_non_release({
+        "workload": "16 process slots, single driver, random queue ops; "
+                    "every op verified (decoupled arm: one shared verifier "
+                    "pass per 256 applies); best of 3 repetitions per arm",
+        "verified_ops_per_second_by_arm": per_arm,
+        "speedup_vs_seed": {
+            a: (v / base if base else None)
+            for a, v in per_arm.items() if a != "seed-coupled"
+        },
+    })
+
+def abd_cluster_facet(run):
+    """The monitored-ABD-cluster sweep (bench_abd_cluster): logical clients
+    multiplexed over 4 driver threads against a 3-replica simulated ABD
+    register cluster, every operation runtime-verified through per-key
+    MonitorService sessions; reliable and lossy+reordered link arms.  Key =
+    clients@dropN (permille).  all_ok must be 1.0 everywhere — the cluster
+    is correct, loss only widens op intervals."""
+    rows = {}
+    for b in run["benchmarks"]:
+        name = b.get("name", "")
+        if (not name.startswith("BM_AbdClusterVerifiedOps/")
+                or b.get("run_type") == "aggregate"
+                or "items_per_second" not in b):
+            continue
+        parts = name.split("/")
+        key = f"{parts[1]}@drop{parts[2]}"
+        row = {"verified_ops_per_second": b["items_per_second"]}
+        for k in ("msgs_per_op", "dropped", "retransmits", "events_fed",
+                  "all_ok"):
+            if k in b:
+                row[k] = b[k]
+        rows[key] = row
+    if not rows:
+        return None
+    return tag_non_release({
+        "workload": "3-replica simulated ABD cluster, 4 keys, 4 driver "
+                    "threads x N logical clients, 50/50 read/write; lossy "
+                    "arms drop 2% of messages and deliver reordered, "
+                    "clients retransmit; key = clients@drop_permille",
+        "num_cpus": run["context"].get("num_cpus"),
+        "per_arm": rows,
+    })
+
 # The single-binary facet modes run one bench alone, so no lincheck.json
 # exists to load — handle them before touching the other runs.
 if mode == "closure_hot":
@@ -453,6 +564,38 @@ if mode == "ingest":
     with open(out, "w") as f:
         json.dump(result, f, indent=1)
     print(f"updated ingest facet of {out}")
+    sys.exit(0)
+
+if mode == "enforced":
+    with open(enforced) as f:
+        facet = enforced_facet(json.load(f))
+    if facet is None:
+        sys.exit("error: no BM_EnforcedVerifiedOps results in this run")
+    try:
+        with open(out) as f:
+            result = json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        sys.exit(f"error: {out} missing or unreadable; run the full suite first")
+    result["enforced"] = facet
+    with open(out, "w") as f:
+        json.dump(result, f, indent=1)
+    print(f"updated enforced facet of {out}")
+    sys.exit(0)
+
+if mode == "abd_cluster":
+    with open(abd_cluster) as f:
+        facet = abd_cluster_facet(json.load(f))
+    if facet is None:
+        sys.exit("error: no BM_AbdClusterVerifiedOps results in this run")
+    try:
+        with open(out) as f:
+            result = json.load(f)
+    except (FileNotFoundError, json.JSONDecodeError):
+        sys.exit(f"error: {out} missing or unreadable; run the full suite first")
+    result["abd_cluster"] = facet
+    with open(out, "w") as f:
+        json.dump(result, f, indent=1)
+    print(f"updated abd_cluster facet of {out}")
     sys.exit(0)
 
 if mode == "obs_overhead":
@@ -575,6 +718,20 @@ except FileNotFoundError:
     ingest_facet = None
 if ingest_facet is not None and ingest_facet.get("benchmarks"):
     result["ingest"] = ingest_facet
+try:
+    with open(enforced) as f:
+        enforced_data = enforced_facet(json.load(f))
+except FileNotFoundError:
+    enforced_data = None
+if enforced_data is not None:
+    result["enforced"] = enforced_data
+try:
+    with open(abd_cluster) as f:
+        abd_facet = abd_cluster_facet(json.load(f))
+except FileNotFoundError:
+    abd_facet = None
+if abd_facet is not None:
+    result["abd_cluster"] = abd_facet
 
 # Preserve facets recorded by earlier PRs/other hosts when this run did not
 # produce them (baseline_string_key is PR 1's string-key engine baseline;
@@ -584,7 +741,7 @@ try:
         prev = json.load(f)
     for key in ("baseline_string_key", "leveled_replay", "parallel_scaling",
                 "multi_session", "frontier_memory", "obs_overhead",
-                "closure_hot", "ingest"):
+                "closure_hot", "ingest", "enforced", "abd_cluster"):
         if key in prev and key not in result:
             result[key] = prev[key]
 except (FileNotFoundError, json.JSONDecodeError):

@@ -64,14 +64,32 @@
 // engine the runtime verifier uses (and the same format certificates are
 // exported in), so an auditor can re-validate a self-enforced object's
 // witness without running the system (Section 8.3 forensics).
+//
+// Enforcement replay (--enforced, single-history only): instead of feeding
+// the raw history to the membership monitor, re-run it through the actual
+// enforcement stack — A* announcements over a replayed implementation (each
+// response comes from the recorded history, not a live object) and
+// MonitorCore's publish/check discipline, exactly the per-op path a
+// SelfEnforced object executes (Figure 11).  Exit codes are the
+// single-history codes: 0 = no check flagged, 1 = some check flagged,
+// 3 = a checker overflowed its budget (sticky; verdict unknown).
+// --stats/--stats-json/--metrics report the aggregated engine counters of
+// all per-process checkers (the same stable keys — enforced objects are no
+// longer opaque to the observability plane), and --threads N|auto selects
+// the checkers' engine threading.  --witness is membership-mode only.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <unordered_map>
 #include <vector>
 
+#include "selin/core/astar.hpp"
+#include "selin/core/monitor_core.hpp"
 #include "selin/io/history_io.hpp"
 #include "selin/lincheck/checker.hpp"
+#include "selin/lincheck/monitor.hpp"
 #include "selin/obs/export.hpp"
 #include "selin/obs/hooks.hpp"
 #include "selin/obs/trace.hpp"
@@ -95,7 +113,8 @@ std::optional<ObjectKind> parse_object(const std::string& s) {
 
 int usage() {
   std::cerr << "usage: selin_check <queue|stack|set|pqueue|counter|register|"
-               "consensus> <file|-> [--witness] [--quiet] [--threads N|auto] "
+               "consensus> <file|-> [--witness] [--enforced] [--quiet] "
+               "[--threads N|auto] "
                "[--tune] [--stats] [--stats-json] [--metrics <file|->] "
                "[--trace <file>]\n"
                "       selin_check <object> <file> <file> ... [--jobs N] "
@@ -264,6 +283,145 @@ int run_single(ObjectKind kind, const std::string& path, bool want_witness,
   return finish(1);
 }
 
+/// The replayed implementation for --enforced: Apply(op) returns the
+/// response the history recorded for that process's next completion, so
+/// the enforcement stack re-executes the trace without a live object.
+/// Responses pop per-process FIFO — a well-formed history completes each
+/// process's operations in program order, which is also the order the
+/// replay loop invokes them.
+class ReplayImpl final : public IConcurrent {
+ public:
+  explicit ReplayImpl(const History& h) {
+    for (const Event& e : h) {
+      if (e.is_res()) recorded_[e.op.id.pid].push_back(e.result);
+    }
+  }
+  const char* name() const override { return "replay"; }
+  Value apply(ProcId p, const OpDesc&) override {
+    auto it = recorded_.find(p);
+    if (it == recorded_.end() || next_[p] >= it->second.size()) return kNoArg;
+    return it->second[next_[p]++];
+  }
+
+ private:
+  std::unordered_map<uint32_t, std::vector<Value>> recorded_;
+  std::unordered_map<uint32_t, size_t> next_;
+};
+
+int run_enforced(ObjectKind kind, const std::string& path, bool quiet,
+                 const ObsOpts& oo, size_t threads) {
+  History h;
+  try {
+    if (path == "-") {
+      h = parse_history(std::cin);
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "selin_check: cannot open " << path << "\n";
+        return 2;
+      }
+      h = parse_history(in);
+    }
+  } catch (const HistoryParseError& e) {
+    std::cerr << "selin_check: parse error: " << e.what() << "\n";
+    return 2;
+  }
+
+  // SteppedAStar drives at most 64 process slots (its open-op table is
+  // fixed); enforcement replay inherits the bound.
+  uint32_t max_pid = 0;
+  for (const Event& e : h) max_pid = std::max(max_pid, e.op.id.pid);
+  const size_t n = static_cast<size_t>(max_pid) + 1;
+  if (h.empty() || n > 64) {
+    std::cerr << "selin_check: --enforced replays 1..64 process slots ("
+              << (h.empty() ? 0 : n) << " in this history)\n";
+    return 2;
+  }
+
+  std::unique_ptr<obs::JsonlSink> tsink;
+  if (!oo.trace.empty()) {
+    tsink = std::make_unique<obs::JsonlSink>(oo.trace);
+    if (!tsink->ok()) {
+      std::cerr << "selin_check: cannot write trace to " << oo.trace << "\n";
+      return 2;
+    }
+  }
+  obs::MetricsRegistry reg;
+  obs::EngineHooks ehooks;
+  obs::LeveledHooks lhooks;
+  auto obj = make_linearizable_object(make_spec(kind));
+  MonitorCore::Options copts;
+  copts.checker_threads = threads;
+  if (oo.enabled()) {
+    ehooks = obs::make_engine_hooks(reg, {}, tsink.get());
+    lhooks = obs::make_leveled_hooks(reg, {}, tsink.get(), 0, &ehooks);
+    copts.obs = &lhooks;
+  }
+
+  ReplayImpl replay(h);
+  AStar astar(n, replay);
+  SteppedAStar step(astar);
+  MonitorCore core(n, n, *obj, copts);
+
+  auto finish = [&](int code) {
+    if (oo.want_stats) print_stats(core.stats());
+    if (oo.stats_json) {
+      std::cout << obs::engine_stats_json(core.stats()) << "\n";
+    }
+    if (!oo.metrics.empty()) {
+      obs::sample_engine_stats(reg, core.stats());
+      if (!write_metrics(reg.snapshot(), oo.metrics)) return 2;
+    }
+    return code;
+  };
+
+  // Replay the trace through the Figure 11 per-op path: inv = announce (A*
+  // Lines 01-02), res = invoke+snapshot (Lines 03-07) then publish+check.
+  std::vector<char> open(n, 0);
+  for (size_t i = 0; i < h.size(); ++i) {
+    const Event& e = h[i];
+    const ProcId p = static_cast<ProcId>(e.op.id.pid);
+    if (e.is_inv()) {
+      if (open[p]) {
+        std::cerr << "selin_check: event " << i << " invokes on process "
+                  << p << " with an operation still open\n";
+        return 2;
+      }
+      open[p] = 1;
+      step.announce(p, e.op.method, e.op.arg);
+      continue;
+    }
+    if (!open[p]) {
+      std::cerr << "selin_check: event " << i << " responds on process " << p
+                << " with no open operation\n";
+      return 2;
+    }
+    open[p] = 0;
+    step.invoke(p);
+    AStar::Result r = step.complete(p);
+    core.publish(p, r.op, r.y, r.view);
+    if (!core.check(p)) {
+      if (core.overflowed(p)) {
+        std::cerr << "selin_check: OVERFLOW — process " << p
+                  << "'s checker exceeded its budget at event " << i
+                  << "; verdict unknown from here (sticky)\n";
+        return finish(3);
+      }
+      if (!quiet) {
+        std::cout << "FLAGGED\n";
+        std::cout << "# process " << p << "'s check flagged at event " << i
+                  << ": " << to_string(e) << "\n";
+      }
+      return finish(1);
+    }
+  }
+  if (!quiet) {
+    std::cout << "ENFORCED OK (" << h.size()
+              << " events; every per-op check passed)\n";
+  }
+  return finish(0);
+}
+
 int run_multi(ObjectKind kind, const std::vector<std::string>& files,
               size_t jobs, bool quiet, const ObsOpts& oo, size_t threads) {
   struct FileCtx {
@@ -420,7 +578,7 @@ int main(int argc, char** argv) {
   auto kind = parse_object(argv[1]);
   if (!kind.has_value()) return usage();
   bool want_witness = false, quiet = false;
-  bool want_tune = false, jobs_given = false;
+  bool want_tune = false, jobs_given = false, want_enforced = false;
   ObsOpts oo;
   size_t threads = 1;
   size_t jobs = 0;  // 0 = hardware-resolved
@@ -428,6 +586,7 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     std::string flag = argv[i];
     if (flag == "--witness") want_witness = true;
+    else if (flag == "--enforced") want_enforced = true;
     else if (flag == "--quiet") quiet = true;
     else if (flag == "--stats") oo.want_stats = true;
     else if (flag == "--stats-json") oo.stats_json = true;
@@ -470,6 +629,18 @@ int main(int argc, char** argv) {
   }
 
   const bool multi = files.size() > 1 || jobs_given;
+  if (want_enforced) {
+    if (multi) {
+      std::cerr << "selin_check: --enforced is single-history only\n";
+      return usage();
+    }
+    if (want_witness) {
+      std::cerr << "selin_check: --enforced replays checks; --witness is "
+                   "membership-mode only\n";
+      return usage();
+    }
+    return run_enforced(*kind, files[0], quiet, oo, threads);
+  }
   if (!multi) {
     return run_single(*kind, files[0], want_witness, quiet, oo, threads);
   }
